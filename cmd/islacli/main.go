@@ -1,0 +1,268 @@
+// Command islacli is an interactive shell for ISLA approximate aggregation.
+//
+// Tables come from binary block files (-load name=prefix, expecting files
+// prefix.000, prefix.001, …) or from built-in synthetic generators
+// (-gen "name=normal:mu=100,sigma=20,n=1000000,blocks=10"). Queries are
+// read from -q or line by line from stdin:
+//
+//	islacli -gen "sales=normal:mu=100,sigma=20,n=1000000,blocks=10" \
+//	        -q "SELECT AVG(v) FROM sales WITH PRECISION 0.1"
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"isla"
+	"isla/internal/workload"
+)
+
+func main() {
+	var gens, loads, texts, csvs multiFlag
+	flag.Var(&gens, "gen", "synthetic table spec name=dist:key=val,... (repeatable)")
+	flag.Var(&loads, "load", "load block files name=prefix (repeatable)")
+	flag.Var(&texts, "txt", "load one-value-per-line text name=path (repeatable)")
+	flag.Var(&csvs, "csv", "load CSV column name=path:column (repeatable)")
+	clusterAddrs := flag.String("cluster", "", "comma-separated islaworker addresses; runs the query on the cluster as table 'cluster'")
+	q := flag.String("q", "", "execute one query and exit")
+	flag.Parse()
+
+	if *clusterAddrs != "" {
+		if err := runCluster(*clusterAddrs, *q); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	db := isla.NewDB()
+	for _, g := range gens {
+		if err := registerGen(db, g); err != nil {
+			fatal(err)
+		}
+	}
+	for _, l := range loads {
+		if err := registerLoad(db, l); err != nil {
+			fatal(err)
+		}
+	}
+	for _, tl := range texts {
+		if err := registerText(db, tl); err != nil {
+			fatal(err)
+		}
+	}
+	for _, cl := range csvs {
+		if err := registerCSV(db, cl); err != nil {
+			fatal(err)
+		}
+	}
+	if len(db.Tables()) == 0 {
+		fmt.Fprintln(os.Stderr, "islacli: no tables; use -gen or -load")
+		os.Exit(2)
+	}
+	fmt.Printf("tables: %s\n", strings.Join(db.Tables(), ", "))
+
+	if *q != "" {
+		if err := run(db, *q); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("isla> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "--"):
+		case line == "\\q" || line == "exit" || line == "quit":
+			return
+		case line == "\\d":
+			fmt.Println(strings.Join(db.Tables(), "\n"))
+		default:
+			if err := run(db, line); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			}
+		}
+		fmt.Print("isla> ")
+	}
+}
+
+func run(db *isla.DB, sql string) error {
+	res, err := db.Query(sql)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s = %.6f", res.Query.Agg, res.Value)
+	if res.CI != nil {
+		fmt.Printf("  (±%.4g at %.0f%% confidence)", res.CI.HalfWidth, res.CI.Confidence*100)
+	}
+	fmt.Printf("  [method=%s rows=%d samples=%d time=%s]\n",
+		res.Method, res.Rows, res.Samples, res.Duration.Round(10_000))
+	return nil
+}
+
+// registerGen parses "name=dist:key=val,..." and registers the table.
+func registerGen(db *isla.DB, spec string) error {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("islacli: bad -gen %q (want name=dist:params)", spec)
+	}
+	dist, params, _ := strings.Cut(rest, ":")
+	kv := map[string]float64{"mu": 100, "sigma": 20, "gamma": 0.1, "lo": 1, "hi": 199,
+		"n": 1_000_000, "blocks": 10, "seed": 1}
+	if params != "" {
+		for _, p := range strings.Split(params, ",") {
+			k, v, ok := strings.Cut(p, "=")
+			if !ok {
+				return fmt.Errorf("islacli: bad param %q in %q", p, spec)
+			}
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fmt.Errorf("islacli: bad value %q in %q", v, spec)
+			}
+			kv[strings.TrimSpace(k)] = f
+		}
+	}
+	n, blocks, seed := int(kv["n"]), int(kv["blocks"]), uint64(kv["seed"])
+	var (
+		store *isla.Store
+		err   error
+	)
+	switch strings.ToLower(dist) {
+	case "normal", "":
+		store, _, err = workload.Normal(kv["mu"], kv["sigma"], n, blocks, seed)
+	case "exp", "exponential":
+		store, _, err = workload.Exponential(kv["gamma"], n, blocks, seed)
+	case "uniform":
+		store, _, err = workload.UniformRange(kv["lo"], kv["hi"], n, blocks, seed)
+	case "salary":
+		store, _, err = workload.Salary(n, blocks, seed)
+	case "tlc":
+		store, _, err = workload.TLCTrips(n, blocks, seed)
+	case "tpch":
+		store, _, err = workload.TPCHLineitem(n, blocks, seed)
+	case "noniid":
+		store, _, err = workload.PaperNonIID(n/5, seed)
+	default:
+		return fmt.Errorf("islacli: unknown distribution %q", dist)
+	}
+	if err != nil {
+		return err
+	}
+	db.RegisterStore(name, store)
+	return nil
+}
+
+// registerLoad opens prefix.000, prefix.001, … as one table.
+func registerLoad(db *isla.DB, spec string) error {
+	name, prefix, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("islacli: bad -load %q (want name=prefix)", spec)
+	}
+	matches, err := filepath.Glob(prefix + ".*")
+	if err != nil {
+		return err
+	}
+	if len(matches) == 0 {
+		return fmt.Errorf("islacli: no block files match %s.*", prefix)
+	}
+	sort.Strings(matches)
+	store, err := isla.OpenFiles(matches...)
+	if err != nil {
+		return err
+	}
+	db.RegisterStore(name, store)
+	return nil
+}
+
+// registerText loads a one-value-per-line text file.
+func registerText(db *isla.DB, spec string) error {
+	name, path, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("islacli: bad -txt %q (want name=path)", spec)
+	}
+	store, err := isla.LoadText(path, 10)
+	if err != nil {
+		return err
+	}
+	db.RegisterStore(name, store)
+	return nil
+}
+
+// registerCSV loads one numeric CSV column: name=path:column.
+func registerCSV(db *isla.DB, spec string) error {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("islacli: bad -csv %q (want name=path:column)", spec)
+	}
+	path, column, ok := strings.Cut(rest, ":")
+	if !ok {
+		return fmt.Errorf("islacli: bad -csv %q (want name=path:column)", spec)
+	}
+	store, err := isla.LoadCSV(path, column, 10)
+	if err != nil {
+		return err
+	}
+	db.RegisterStore(name, store)
+	return nil
+}
+
+// runCluster executes one AVG query against remote islaworker processes
+// (the table name in the statement is ignored; the cluster is the table).
+func runCluster(addrs, sql string) error {
+	if sql == "" {
+		return fmt.Errorf("islacli: -cluster requires -q")
+	}
+	parsed, err := isla.ParseQuery(sql)
+	if err != nil {
+		return err
+	}
+	cfg := isla.DefaultConfig()
+	if parsed.Precision > 0 {
+		cfg.Precision = parsed.Precision
+	}
+	if parsed.Confidence > 0 {
+		cfg.Confidence = parsed.Confidence
+	}
+	if parsed.SampleFraction > 0 {
+		cfg.SampleFraction = parsed.SampleFraction
+	}
+	if parsed.HasSeed {
+		cfg.Seed = parsed.Seed
+	}
+	coord := isla.NewCoordinator(cfg)
+	for _, a := range strings.Split(addrs, ",") {
+		if err := coord.Connect(strings.TrimSpace(a)); err != nil {
+			return err
+		}
+	}
+	defer coord.Close()
+	res, err := coord.Run()
+	if err != nil {
+		return err
+	}
+	value := res.Estimate
+	if parsed.Agg.String() == "SUM" {
+		value = res.Sum
+	}
+	fmt.Printf("%s = %.6f  (±%.4g at %.0f%% confidence)  [cluster rows=%d samples=%d]\n",
+		parsed.Agg, value, res.CI.HalfWidth, res.CI.Confidence*100,
+		coord.TotalLen(), res.TotalSamples)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "islacli: %v\n", err)
+	os.Exit(1)
+}
+
+// multiFlag collects repeatable string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ";") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }

@@ -1,0 +1,75 @@
+// Outliers: the paper's real-data showcase (§VIII-G) on a taxi-trip-like
+// column where the very small and very large values cluster. The
+// measure-biased estimators (MV and its boundary-aware variant MVB) are
+// systematically wrong on such data by construction — MV converges to
+// E[X²]/E[X], not E[X] — while ISLA's region boundaries and leverages keep
+// its answer anchored near the truth. The example also runs the MAX
+// extension (§VII-D) over the same store.
+//
+// (A plain uniform sample is unbiased and competitive on the mean at this
+// budget; the US collapse the paper reports on TLC is not reproducible from
+// first principles — see EXPERIMENTS.md. The decisive comparison here is
+// against the measure-biased family, which is the paper's Table VI/VII
+// story as well.)
+//
+//	go run ./examples/outliers
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"isla"
+	"isla/internal/workload"
+)
+
+func main() {
+	store, _, err := workload.TLCTrips(2_000_000, 10, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := store.ExactMean()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trip-distance-like column: %d rows, exact mean %.2f\n\n", store.TotalLen(), exact)
+
+	db := isla.NewDB()
+	db.RegisterStore("trips", store)
+
+	fmt.Println("method  estimate      abs err     rel err   samples")
+	for _, method := range []string{"ISLA", "MV", "MVB", "US", "STS"} {
+		q := fmt.Sprintf("SELECT AVG(d) FROM trips WITH PRECISION 25 METHOD %s SEED 9", method)
+		res, err := db.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s  %10.2f  %10.2f  %7.2f%%  %10d\n",
+			method, res.Value, abs(res.Value-exact),
+			100*abs(res.Value-exact)/exact, res.Samples)
+	}
+	fmt.Println("\nMV lands near E[X²]/E[X] — far above the mean on clustered data;")
+	fmt.Println("MVB inherits a milder version of the same bias; ISLA stays anchored.")
+
+	// Approximate MAX with leverage-based per-block sampling rates.
+	trueMax, err := isla.ExactExtreme(store, isla.MAX)
+	if err != nil {
+		log.Fatal(err)
+	}
+	approxMax, err := isla.EstimateExtreme(store, isla.MAX, isla.ExtremeConfig{
+		SampleRate: 0.1,
+		Seed:       13,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMAX: exact %.2f, approximate %.2f (10%% sample, %d draws)\n",
+		trueMax, approxMax.Value, approxMax.Samples)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,61 @@
+// Quickstart: register a column, run an approximate AVG with a precision
+// guarantee, and compare against the exact scan.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"isla"
+	"isla/internal/stats"
+)
+
+func main() {
+	// One million sensor readings ~ N(100, 20²), as in the paper's default
+	// workload, partitioned into 10 blocks.
+	r := stats.NewRNG(42)
+	dist := stats.Normal{Mu: 100, Sigma: 20}
+	values := make([]float64, 1_000_000)
+	for i := range values {
+		values[i] = dist.Sample(r)
+	}
+
+	db := isla.NewDB()
+	db.RegisterSlice("readings", values, 10)
+
+	// Approximate: the answer carries a ±0.1 confidence interval at 95%.
+	approx, err := db.Query("SELECT AVG(v) FROM readings WITH PRECISION 0.1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Exact, for comparison (full scan).
+	exact, err := db.Query("SELECT AVG(v) FROM readings METHOD EXACT")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("approximate AVG : %.4f  (±%.2f at %.0f%% confidence)\n",
+		approx.Value, approx.CI.HalfWidth, approx.CI.Confidence*100)
+	fmt.Printf("exact AVG       : %.4f\n", exact.Value)
+	fmt.Printf("absolute error  : %.4f\n", abs(approx.Value-exact.Value))
+	fmt.Printf("samples touched : %d of %d rows (%.2f%%)  in %s (exact scan: %s)\n",
+		approx.Samples, approx.Rows,
+		100*float64(approx.Samples)/float64(approx.Rows),
+		approx.Duration.Round(10000), exact.Duration.Round(10000))
+
+	// SUM comes for free: AVG × M.
+	sum, err := db.Query("SELECT SUM(v) FROM readings WITH PRECISION 0.1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("approximate SUM : %.1f\n", sum.Value)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

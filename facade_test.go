@@ -1,0 +1,132 @@
+package isla
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"isla/internal/stats"
+)
+
+func TestTimeBoundFacade(t *testing.T) {
+	s := Partition(normalData(300000, 11), 10)
+	cfg := DefaultConfig()
+	cfg.Seed = 3
+	res, err := EstimateTimeBound(s, cfg, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AchievedPrecision <= 0 {
+		t.Fatal("no achieved precision")
+	}
+	if math.Abs(res.Estimate-100) > 5*res.AchievedPrecision {
+		t.Fatalf("estimate %v beyond achieved precision band", res.Estimate)
+	}
+}
+
+func TestQueryTimeBudget(t *testing.T) {
+	db := NewDB()
+	db.RegisterSlice("t", normalData(200000, 12), 10)
+	res, err := db.Query("SELECT AVG(v) FROM t WITH TIME 0.1 SEED 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-100) > 3 {
+		t.Fatalf("time-budget avg = %v", res.Value)
+	}
+	if res.CI == nil || res.CI.HalfWidth <= 0 {
+		t.Fatal("missing derived CI")
+	}
+	// TIME with a non-ISLA method is rejected at parse time.
+	if _, err := db.Query("SELECT AVG(v) FROM t WITH TIME 0.1 METHOD US"); err == nil {
+		t.Fatal("TIME with US accepted")
+	}
+}
+
+func TestClusterFacade(t *testing.T) {
+	s := Partition(normalData(200000, 13), 6)
+	w := NewWorker(s.Blocks()...)
+	l, err := w.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	cfg := DefaultConfig()
+	cfg.Precision = 0.5
+	cfg.Seed = 5
+	coord := NewCoordinator(cfg)
+	if err := coord.Connect(l.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	res, err := coord.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Estimate-100) > 1.5 {
+		t.Fatalf("cluster estimate = %v", res.Estimate)
+	}
+}
+
+func TestGroupAVGFacade(t *testing.T) {
+	r := stats.NewRNG(14)
+	rows := make([]GroupRow, 0, 60000)
+	for i := 0; i < 30000; i++ {
+		rows = append(rows, GroupRow{Group: "a", Value: 100 + 20*r.NormFloat64()})
+		rows = append(rows, GroupRow{Group: "b", Value: 50 + 10*r.NormFloat64()})
+	}
+	cfg := DefaultConfig()
+	cfg.Precision = 1
+	cfg.Seed = 6
+	res, err := GroupAVG(rows, 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Group != "a" || res[1].Group != "b" {
+		t.Fatalf("res = %v", res)
+	}
+	if math.Abs(res[0].Estimate-100) > 2 || math.Abs(res[1].Estimate-50) > 2 {
+		t.Fatalf("group estimates = %v, %v", res[0].Estimate, res[1].Estimate)
+	}
+}
+
+func TestLoadTextFacade(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vals.txt")
+	if err := os.WriteFile(path, []byte("1\n2\n3\nnot-a-number\n4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadText(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalLen() != 4 {
+		t.Fatalf("len = %d (invalid line should be skipped)", s.TotalLen())
+	}
+	mean, _ := s.ExactMean()
+	if mean != 2.5 {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+func TestLoadCSVFacade(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	if err := os.WriteFile(path, []byte("id,price\n1,10\n2,30\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadCSV(path, "price", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, _ := s.ExactMean()
+	if mean != 20 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if _, err := LoadCSV(path, "missing", 1); err == nil {
+		t.Fatal("missing column accepted")
+	}
+}

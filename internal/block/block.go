@@ -1,0 +1,200 @@
+// Package block implements the partitioned-storage substrate ISLA runs on.
+//
+// The paper assumes data too large for centralized storage, split across b
+// "blocks" (machines or files); all aggregation work happens per block and
+// partial answers are gathered afterwards. This package provides the Block
+// abstraction with two implementations — an in-memory block and a binary
+// file-backed block — plus a Store that groups the blocks of one table.
+package block
+
+import (
+	"errors"
+	"fmt"
+
+	"isla/internal/stats"
+)
+
+// Block is one partition of a column. Implementations must support a full
+// sequential scan (used for golden answers and for the baselines that need
+// totals) and uniform random sampling with replacement (the access pattern
+// of the paper's Algorithm 1).
+type Block interface {
+	// ID returns the block's identifier, unique within its Store.
+	ID() int
+	// Len returns the number of values in the block.
+	Len() int64
+	// Scan calls fn for every value in storage order. It stops early and
+	// returns fn's error if fn returns a non-nil error.
+	Scan(fn func(v float64) error) error
+	// Sample draws m values uniformly at random with replacement and passes
+	// each to fn. The paper's sampling phase never stores samples, so the
+	// callback style keeps that contract visible in the API.
+	Sample(r *stats.RNG, m int64, fn func(v float64)) error
+}
+
+// ErrEmptyBlock is returned when an operation requires a non-empty block.
+var ErrEmptyBlock = errors.New("block: empty block")
+
+// MemBlock is an in-memory Block backed by a []float64.
+type MemBlock struct {
+	id   int
+	data []float64
+}
+
+// NewMemBlock wraps data (not copied) as a block with the given id.
+func NewMemBlock(id int, data []float64) *MemBlock {
+	return &MemBlock{id: id, data: data}
+}
+
+// ID implements Block.
+func (b *MemBlock) ID() int { return b.id }
+
+// Len implements Block.
+func (b *MemBlock) Len() int64 { return int64(len(b.data)) }
+
+// Data exposes the underlying slice; used by exact-answer computation in
+// tests and the golden-truth paths of the bench harness.
+func (b *MemBlock) Data() []float64 { return b.data }
+
+// Scan implements Block.
+func (b *MemBlock) Scan(fn func(v float64) error) error {
+	for _, v := range b.data {
+		if err := fn(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sample implements Block.
+func (b *MemBlock) Sample(r *stats.RNG, m int64, fn func(v float64)) error {
+	n := int64(len(b.data))
+	if n == 0 {
+		if m == 0 {
+			return nil
+		}
+		return ErrEmptyBlock
+	}
+	for i := int64(0); i < m; i++ {
+		fn(b.data[r.Int63n(n)])
+	}
+	return nil
+}
+
+// Store is an ordered collection of blocks forming one logical column, with
+// cached total size. It mirrors the paper's B = {B1..Bb}.
+type Store struct {
+	blocks []Block
+	total  int64
+}
+
+// NewStore builds a store over the given blocks.
+func NewStore(blocks ...Block) *Store {
+	s := &Store{blocks: blocks}
+	for _, b := range blocks {
+		s.total += b.Len()
+	}
+	return s
+}
+
+// Blocks returns the underlying block list (do not mutate).
+func (s *Store) Blocks() []Block { return s.blocks }
+
+// NumBlocks returns b, the number of blocks.
+func (s *Store) NumBlocks() int { return len(s.blocks) }
+
+// TotalLen returns M, the total number of values.
+func (s *Store) TotalLen() int64 { return s.total }
+
+// Block returns the i-th block.
+func (s *Store) Block(i int) Block { return s.blocks[i] }
+
+// Scan runs fn over every value of every block in order.
+func (s *Store) Scan(fn func(v float64) error) error {
+	for _, b := range s.blocks {
+		if err := b.Scan(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExactMean computes the true average with a full scan — the golden truth
+// the approximate estimators are judged against. It returns an error for an
+// empty store.
+func (s *Store) ExactMean() (float64, error) {
+	if s.total == 0 {
+		return 0, ErrEmptyBlock
+	}
+	// Per-block Welford then merge, to stay stable on large stores.
+	var acc stats.Moments
+	for _, b := range s.blocks {
+		var m stats.Moments
+		if err := b.Scan(func(v float64) error { m.Add(v); return nil }); err != nil {
+			return 0, err
+		}
+		acc.Merge(m)
+	}
+	return acc.Mean(), nil
+}
+
+// ExactSum computes the true sum with a full scan.
+func (s *Store) ExactSum() (float64, error) {
+	if s.total == 0 {
+		return 0, ErrEmptyBlock
+	}
+	mean, err := s.ExactMean()
+	if err != nil {
+		return 0, err
+	}
+	return mean * float64(s.total), nil
+}
+
+// PilotSample draws m values uniformly across the store, allocating the
+// per-block quota proportionally to block size (the paper's Pre-estimation
+// sampling discipline) and folding every value into fn.
+func (s *Store) PilotSample(r *stats.RNG, m int64, fn func(v float64)) error {
+	if s.total == 0 {
+		return ErrEmptyBlock
+	}
+	if m <= 0 {
+		return fmt.Errorf("block: pilot sample size %d must be positive", m)
+	}
+	remaining := m
+	for i, b := range s.blocks {
+		var quota int64
+		if i == len(s.blocks)-1 {
+			quota = remaining
+		} else {
+			quota = m * b.Len() / s.total
+			if quota > remaining {
+				quota = remaining
+			}
+		}
+		remaining -= quota
+		if quota == 0 {
+			continue
+		}
+		if err := b.Sample(r, quota, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Partition splits data into b contiguous, near-equal in-memory blocks —
+// the "data are evenly divided into b parts" setup of the paper's
+// experiments. It panics if b <= 0.
+func Partition(data []float64, b int) *Store {
+	if b <= 0 {
+		panic("block: partition count must be positive")
+	}
+	blocks := make([]Block, 0, b)
+	n := len(data)
+	for i := 0; i < b; i++ {
+		lo := i * n / b
+		hi := (i + 1) * n / b
+		blocks = append(blocks, NewMemBlock(i, data[lo:hi]))
+	}
+	return NewStore(blocks...)
+}

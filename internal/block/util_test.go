@@ -1,0 +1,14 @@
+package block
+
+import "os"
+
+// writeBytesAt overwrites len(b) bytes of the file at path starting at off.
+func writeBytesAt(path string, off int64, b []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteAt(b, off)
+	return err
+}

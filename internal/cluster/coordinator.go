@@ -1,0 +1,309 @@
+package cluster
+
+import (
+	"fmt"
+	"net/rpc"
+	"sort"
+	"sync"
+
+	"isla/internal/core"
+	"isla/internal/modulate"
+	"isla/internal/stats"
+)
+
+// Coordinator drives an ISLA aggregation across RPC workers. It owns the
+// Pre-estimation and Summarization modules; workers only execute the
+// sampling phase and return power sums.
+type Coordinator struct {
+	Cfg core.Config
+
+	mu      sync.Mutex
+	clients []*rpc.Client
+	// blockHome maps a block id to the index of the client serving it.
+	blockHome map[int]int
+	blockLens map[int]int64
+}
+
+// NewCoordinator returns a coordinator with the given estimator config.
+func NewCoordinator(cfg core.Config) *Coordinator {
+	return &Coordinator{
+		Cfg:       cfg,
+		blockHome: make(map[int]int),
+		blockLens: make(map[int]int64),
+	}
+}
+
+// Connect dials a worker and registers its blocks. Safe to call for
+// several workers; duplicate block ids resolve to the latest worker.
+func (c *Coordinator) Connect(addr string) error {
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: dialing %s: %w", addr, err)
+	}
+	var info InfoReply
+	if err := client.Call("Worker.Info", struct{}{}, &info); err != nil {
+		client.Close()
+		return fmt.Errorf("cluster: querying %s: %w", addr, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := len(c.clients)
+	c.clients = append(c.clients, client)
+	for i, id := range info.BlockIDs {
+		c.blockHome[id] = idx
+		c.blockLens[id] = info.Lens[i]
+	}
+	return nil
+}
+
+// Close closes every worker connection.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, cl := range c.clients {
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.clients = nil
+	return first
+}
+
+// TotalLen returns the cluster-wide row count M.
+func (c *Coordinator) TotalLen() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t int64
+	for _, l := range c.blockLens {
+		t += l
+	}
+	return t
+}
+
+// blockIDs returns the registered block ids in order.
+func (c *Coordinator) blockIDs() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]int, 0, len(c.blockHome))
+	for id := range c.blockHome {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Run executes the full distributed pipeline and returns the standard ISLA
+// result. The per-block sampling runs concurrently across workers.
+func (c *Coordinator) Run() (core.Result, error) {
+	if err := c.Cfg.Validate(); err != nil {
+		return core.Result{}, err
+	}
+	ids := c.blockIDs()
+	if len(ids) == 0 {
+		return core.Result{}, core.ErrEmptyStore
+	}
+	total := c.TotalLen()
+	if total == 0 {
+		return core.Result{}, core.ErrEmptyStore
+	}
+	r := stats.NewRNG(c.Cfg.Seed)
+
+	// --- Pre-estimation across the cluster: pilot each block with a size
+	// proportional to its share, pool the moments. Per-block moments are
+	// retained for the non-i.i.d. mode (§VII-C over §VII-E).
+	pilot, perBlockPilots, err := c.preEstimate(ids, total, r)
+	if err != nil {
+		return core.Result{}, err
+	}
+	shift := 0.0
+	if pilot.Min <= 0 {
+		shift = -pilot.Min + pilot.Sigma + 1
+	}
+
+	// --- Calculation: fan out Algorithm 1, resolve Algorithm 2 locally.
+	type outcome struct {
+		br  core.BlockResult
+		err error
+	}
+	results := make(chan outcome, len(ids))
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		id := id
+		seed := r.Uint64()
+		// Per-block geometry in non-i.i.d. mode, global otherwise.
+		bp := pilot
+		if c.Cfg.PerBlockBounds {
+			if own, ok := perBlockPilots[id]; ok && own.Count() > 1 {
+				bp.Sketch0 = own.Mean()
+				bp.Sigma = own.SampleStdDev()
+			}
+		}
+		opts := modOptions(c.Cfg, bp.Sigma, bp.RelaxedE)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			br, err := c.runBlock(id, bp, shift, seed, opts)
+			results <- outcome{br: br, err: err}
+		}()
+	}
+	wg.Wait()
+	close(results)
+
+	perBlock := make([]core.BlockResult, 0, len(ids))
+	for out := range results {
+		if out.err != nil {
+			return core.Result{}, out.err
+		}
+		perBlock = append(perBlock, out.br)
+	}
+	sort.Slice(perBlock, func(i, j int) bool { return perBlock[i].BlockID < perBlock[j].BlockID })
+	return core.SummarizeBlocks(c.Cfg, pilot, shift, perBlock, total), nil
+}
+
+// preEstimate pools per-block pilot moments into the global σ, sketch0 and
+// sampling rate (Eq. 1), returning the per-block moments as well for the
+// non-i.i.d. mode.
+func (c *Coordinator) preEstimate(ids []int, total int64, r *stats.RNG) (core.Pilot, map[int]*stats.Moments, error) {
+	const probeTotal = 2000
+	perBlock := make(map[int]*stats.Moments, len(ids))
+	var pooled stats.Moments
+	for _, id := range ids {
+		c.mu.Lock()
+		client := c.clients[c.blockHome[id]]
+		blen := c.blockLens[id]
+		c.mu.Unlock()
+		if blen == 0 {
+			continue
+		}
+		quota := int64(probeTotal) * blen / total
+		if quota < 50 {
+			quota = 50
+		}
+		var rep PilotReply
+		if err := client.Call("Worker.Pilot", PilotArgs{BlockID: id, SampleSize: quota, Seed: r.Uint64()}, &rep); err != nil {
+			return core.Pilot{}, nil, fmt.Errorf("cluster: pilot block %d: %w", id, err)
+		}
+		m := momentsFrom(rep)
+		perBlock[id] = &m
+		pooled.Merge(m)
+	}
+	sigma := pooled.SampleStdDev()
+	relaxed := c.Cfg.RelaxFactor * c.Cfg.Precision
+
+	// Second pass at the relaxed precision for sketch0.
+	pilotSize, err := stats.RequiredSampleSize(sigma, relaxed, c.Cfg.Confidence)
+	if err != nil {
+		return core.Pilot{}, nil, err
+	}
+	if pilotSize > total {
+		pilotSize = total
+	}
+	var sketchAcc stats.Moments
+	for _, id := range ids {
+		c.mu.Lock()
+		client := c.clients[c.blockHome[id]]
+		blen := c.blockLens[id]
+		c.mu.Unlock()
+		if blen == 0 {
+			continue
+		}
+		quota := pilotSize * blen / total
+		if quota < 1 {
+			quota = 1
+		}
+		var rep PilotReply
+		if err := client.Call("Worker.Pilot", PilotArgs{BlockID: id, SampleSize: quota, Seed: r.Uint64()}, &rep); err != nil {
+			return core.Pilot{}, nil, fmt.Errorf("cluster: sketch pilot block %d: %w", id, err)
+		}
+		m := momentsFrom(rep)
+		perBlock[id].Merge(m)
+		sketchAcc.Merge(m)
+	}
+
+	sigma = sketchAcc.SampleStdDev()
+	m, err := stats.RequiredSampleSize(sigma, c.Cfg.Precision, c.Cfg.Confidence)
+	if err != nil {
+		return core.Pilot{}, nil, err
+	}
+	m = int64(float64(m) * c.Cfg.SampleFraction)
+	if m < 1 {
+		m = 1
+	}
+	rate := float64(m) / float64(total)
+	if rate > c.Cfg.MaxSampleRate {
+		rate = c.Cfg.MaxSampleRate
+		m = int64(rate * float64(total))
+	}
+	return core.Pilot{
+		Sketch0:    sketchAcc.Mean(),
+		Sigma:      sigma,
+		SampleRate: rate,
+		SampleSize: m,
+		PilotSize:  pooled.Count() + sketchAcc.Count(),
+		RelaxedE:   relaxed,
+		Min:        sketchAcc.Min(),
+		Max:        sketchAcc.Max(),
+	}, perBlock, nil
+}
+
+// runBlock ships Algorithm 1 to the block's worker and resolves Algorithm 2
+// from the returned sums.
+func (c *Coordinator) runBlock(id int, pilot core.Pilot, shift float64, seed uint64, opts modulate.Options) (core.BlockResult, error) {
+	c.mu.Lock()
+	client := c.clients[c.blockHome[id]]
+	blen := c.blockLens[id]
+	c.mu.Unlock()
+
+	m := int64(pilot.SampleRate * float64(blen))
+	if m < 1 {
+		m = 1
+	}
+	args := SampleArgs{
+		BlockID:    id,
+		Center:     pilot.Sketch0 + shift,
+		Sigma:      pilot.Sigma,
+		P1:         c.Cfg.P1,
+		P2:         c.Cfg.P2,
+		Shift:      shift,
+		SampleSize: m,
+		Seed:       seed,
+	}
+	var rep SampleReply
+	if err := client.Call("Worker.Sample", args, &rep); err != nil {
+		return core.BlockResult{}, fmt.Errorf("cluster: sampling block %d: %w", id, err)
+	}
+	s := stats.PowerSums{Count: rep.S.Count, Sum: rep.S.Sum, Sum2: rep.S.Sum2, Sum3: rep.S.Sum3}
+	l := stats.PowerSums{Count: rep.L.Count, Sum: rep.L.Sum, Sum2: rep.L.Sum2, Sum3: rep.L.Sum3}
+	detail, err := modulate.Run(s, l, pilot.Sketch0+shift, c.Cfg.QPolicy, opts)
+	if err != nil {
+		return core.BlockResult{}, err
+	}
+	return core.BlockResult{
+		BlockID: id,
+		Len:     blen,
+		Samples: rep.Samples,
+		Answer:  detail.Answer - shift,
+		Detail:  detail,
+	}, nil
+}
+
+// momentsFrom reconstructs stats.Moments from a pilot reply.
+func momentsFrom(rep PilotReply) stats.Moments {
+	return stats.RebuildMoments(rep.Count, rep.Mean, rep.M2, rep.Min, rep.Max)
+}
+
+// modOptions mirrors core's private conversion for coordinator use.
+func modOptions(cfg core.Config, sigma, bound float64) modulate.Options {
+	return modulate.Options{
+		Mode:        cfg.StepMode,
+		Eta:         cfg.Eta,
+		Lambda:      cfg.Lambda,
+		Threshold:   cfg.Threshold,
+		BalanceBand: cfg.BalanceBand,
+		Sigma:       sigma,
+		P1:          cfg.P1,
+		P2:          cfg.P2,
+		SketchBound: bound,
+	}
+}

@@ -1,0 +1,198 @@
+// Package cluster is the paper's §VII-E deployment made concrete: blocks
+// live on worker processes ("subsidiaries"), a coordinator ships each worker
+// the frozen per-block parameters (boundaries, sketch0, sampling rate), and
+// workers return only the O(1) per-region power sums — the property that
+// makes ISLA's network cost trivial. Transport is net/rpc over TCP (or any
+// net.Listener), standard library only.
+//
+// The coordinator resolves the per-block answers locally from the returned
+// sums, so the aggregation logic stays in one place and a worker upgrade
+// can never skew the estimator.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"isla/internal/block"
+	"isla/internal/leverage"
+	"isla/internal/stats"
+)
+
+// SampleArgs asks a worker to run Algorithm 1 on one of its blocks.
+type SampleArgs struct {
+	BlockID int
+	// Boundaries of the (possibly shifted) data regions.
+	Center, Sigma, P1, P2 float64
+	// Shift is the negative-data translation to add to every value.
+	Shift float64
+	// SampleSize is the number of uniform draws.
+	SampleSize int64
+	// Seed drives the worker-side RNG; the coordinator splits seeds so
+	// results are deterministic.
+	Seed uint64
+}
+
+// RegionSums is the wire form of one region's power sums.
+type RegionSums struct {
+	Count           int64
+	Sum, Sum2, Sum3 float64
+}
+
+// SampleReply carries a block's paramS/paramL back to the coordinator.
+type SampleReply struct {
+	BlockID int
+	Len     int64
+	Samples int64
+	S, L    RegionSums
+}
+
+// PilotArgs asks a worker for a pilot sample of one block.
+type PilotArgs struct {
+	BlockID    int
+	SampleSize int64
+	Seed       uint64
+}
+
+// PilotReply carries streaming moments of the pilot draw.
+type PilotReply struct {
+	BlockID  int
+	Len      int64
+	Count    int64
+	Mean     float64
+	M2       float64 // Welford sum of squared deviations
+	Min, Max float64
+}
+
+// InfoReply describes the worker's blocks.
+type InfoReply struct {
+	BlockIDs []int
+	Lens     []int64
+}
+
+// Worker serves block computations over RPC. Create with NewWorker, then
+// Serve on a listener.
+type Worker struct {
+	mu     sync.RWMutex
+	blocks map[int]block.Block
+}
+
+// NewWorker returns a worker owning the given blocks.
+func NewWorker(blocks ...block.Block) *Worker {
+	w := &Worker{blocks: make(map[int]block.Block, len(blocks))}
+	for _, b := range blocks {
+		w.blocks[b.ID()] = b
+	}
+	return w
+}
+
+// AddBlock registers another block.
+func (w *Worker) AddBlock(b block.Block) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.blocks[b.ID()] = b
+}
+
+func (w *Worker) lookup(id int) (block.Block, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	b, ok := w.blocks[id]
+	if !ok {
+		return nil, fmt.Errorf("cluster: worker has no block %d", id)
+	}
+	return b, nil
+}
+
+// Info reports the worker's block inventory.
+func (w *Worker) Info(_ struct{}, reply *InfoReply) error {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	for id, b := range w.blocks {
+		reply.BlockIDs = append(reply.BlockIDs, id)
+		reply.Lens = append(reply.Lens, b.Len())
+	}
+	return nil
+}
+
+// Pilot draws a uniform pilot sample from one block and returns its
+// streaming moments.
+func (w *Worker) Pilot(args PilotArgs, reply *PilotReply) error {
+	b, err := w.lookup(args.BlockID)
+	if err != nil {
+		return err
+	}
+	if args.SampleSize <= 0 {
+		return errors.New("cluster: non-positive pilot size")
+	}
+	var m stats.Moments
+	r := stats.NewRNG(args.Seed)
+	if err := b.Sample(r, args.SampleSize, m.Add); err != nil {
+		return err
+	}
+	reply.BlockID = args.BlockID
+	reply.Len = b.Len()
+	reply.Count = m.Count()
+	reply.Mean = m.Mean()
+	reply.M2 = m.Variance() * float64(m.Count())
+	reply.Min = m.Min()
+	reply.Max = m.Max()
+	return nil
+}
+
+// Sample runs Algorithm 1 on one block: uniform draws classified against
+// the supplied boundaries, folded into the S/L power sums. Only the sums
+// travel back.
+func (w *Worker) Sample(args SampleArgs, reply *SampleReply) error {
+	b, err := w.lookup(args.BlockID)
+	if err != nil {
+		return err
+	}
+	bounds, err := leverage.NewBoundaries(args.Center, args.Sigma, args.P1, args.P2)
+	if err != nil {
+		return err
+	}
+	if args.SampleSize <= 0 {
+		return errors.New("cluster: non-positive sample size")
+	}
+	acc := leverage.NewAccum(bounds)
+	r := stats.NewRNG(args.Seed)
+	if err := b.Sample(r, args.SampleSize, func(v float64) { acc.Add(v + args.Shift) }); err != nil {
+		return err
+	}
+	reply.BlockID = args.BlockID
+	reply.Len = b.Len()
+	reply.Samples = args.SampleSize
+	reply.S = RegionSums{Count: acc.S.Count, Sum: acc.S.Sum, Sum2: acc.S.Sum2, Sum3: acc.S.Sum3}
+	reply.L = RegionSums{Count: acc.L.Count, Sum: acc.L.Sum, Sum2: acc.L.Sum2, Sum3: acc.L.Sum3}
+	return nil
+}
+
+// Serve registers the worker on a fresh rpc.Server and accepts connections
+// on l until the listener is closed. It blocks; run it in a goroutine.
+func (w *Worker) Serve(l net.Listener) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", w); err != nil {
+		return err
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// ListenAndServe starts the worker on addr (e.g. "127.0.0.1:0") and returns
+// the bound listener so callers learn the port and can shut it down.
+func (w *Worker) ListenAndServe(addr string) (net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go w.Serve(l) //nolint:errcheck // ends when l closes
+	return l, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"isla/internal/block"
+	"isla/internal/modulate"
+	"isla/internal/stats"
+)
+
+// BlockResult is one block's partial answer together with the modulation
+// diagnostics the Table IV experiment inspects.
+type BlockResult struct {
+	BlockID int
+	Len     int64
+	Samples int64
+	Answer  float64         // partial AVG of this block
+	Detail  modulate.Result // iteration diagnostics (case, α, iterations…)
+}
+
+// Result is the output of an ISLA estimation run.
+type Result struct {
+	// Estimate is the final AVG answer, Σ avg_j·|B_j|/M.
+	Estimate float64
+	// Sum is the derived SUM answer, Estimate · M.
+	Sum float64
+	// CI is the precision assurance the user asked for.
+	CI stats.ConfidenceInterval
+	// Pilot records the Pre-estimation outputs.
+	Pilot Pilot
+	// PerBlock holds the partial answers in block order.
+	PerBlock []BlockResult
+	// TotalSamples counts calculation-phase samples across all blocks
+	// (excludes the pilot).
+	TotalSamples int64
+	// Shift is the negative-data translation d applied during computation
+	// (zero for all-positive data): values were aggregated as v+Shift and
+	// the answer translated back (§IV-A footnote).
+	Shift float64
+}
+
+// Estimator runs ISLA AVG aggregation over block stores.
+type Estimator struct {
+	cfg Config
+}
+
+// New returns an Estimator with the given configuration.
+func New(cfg Config) (*Estimator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Estimator{cfg: cfg}, nil
+}
+
+// Config returns the estimator's configuration.
+func (e *Estimator) Config() Config { return e.cfg }
+
+// Run executes the full pipeline on the store. When cfg.PerBlockBounds is
+// set it uses the non-i.i.d. variant (per-block boundaries, optionally
+// variance-aware rates); otherwise the i.i.d. pipeline of the paper's main
+// sections.
+func (e *Estimator) Run(s *block.Store) (Result, error) {
+	if e.cfg.PerBlockBounds {
+		return e.runNonIID(s)
+	}
+	return e.runIID(s)
+}
+
+func (e *Estimator) runIID(s *block.Store) (Result, error) {
+	r := stats.NewRNG(e.cfg.Seed)
+	plan, err := PlanIID(s, e.cfg, r)
+	if err != nil {
+		return Result{}, err
+	}
+	perBlock := make([]BlockResult, 0, s.NumBlocks())
+	for _, b := range s.Blocks() {
+		br, err := plan.RunBlock(b, r.Split())
+		if err != nil {
+			return Result{}, fmt.Errorf("core: block %d: %w", b.ID(), err)
+		}
+		perBlock = append(perBlock, br)
+	}
+	return plan.Summarize(perBlock, s.TotalLen()), nil
+}
+
+func (e *Estimator) runNonIID(s *block.Store) (Result, error) {
+	r := stats.NewRNG(e.cfg.Seed)
+	plans, overall, err := PlanNonIID(s, e.cfg, r)
+	if err != nil {
+		return Result{}, err
+	}
+	perBlock := make([]BlockResult, 0, s.NumBlocks())
+	var shift float64
+	for i, b := range s.Blocks() {
+		if plans[i] == nil {
+			perBlock = append(perBlock, BlockResult{BlockID: b.ID()})
+			continue
+		}
+		shift = plans[i].Shift
+		br, err := plans[i].RunBlock(b, r.Split())
+		if err != nil {
+			return Result{}, fmt.Errorf("core: block %d: %w", b.ID(), err)
+		}
+		perBlock = append(perBlock, br)
+	}
+	return SummarizeBlocks(e.cfg, overall, shift, perBlock, s.TotalLen()), nil
+}
+
+// Estimate is a convenience wrapper: build an estimator from cfg and run it
+// on the store.
+func Estimate(s *block.Store, cfg Config) (Result, error) {
+	est, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return est.Run(s)
+}

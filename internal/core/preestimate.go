@@ -1,0 +1,194 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"isla/internal/block"
+	"isla/internal/stats"
+)
+
+// Pilot is the output of the Pre-estimation module: the sketch estimator's
+// initial value, the estimated standard deviation, the derived sampling
+// rate, and bookkeeping about how they were obtained.
+type Pilot struct {
+	Sketch0    float64 // initial sketch estimate (relaxed precision t_e·e)
+	Sigma      float64 // estimated overall standard deviation
+	SampleRate float64 // r = m/M from Eq. (1), scaled by SampleFraction
+	SampleSize int64   // m, total samples Calculation will draw
+	PilotSize  int64   // samples spent on the pilot itself
+	RelaxedE   float64 // t_e · e, the relaxed precision of sketch0
+	Min, Max   float64 // pilot min/max, used by the negative-data shift
+}
+
+// ErrEmptyStore is returned when an estimator is asked to run on no data.
+var ErrEmptyStore = errors.New("core: empty store")
+
+// PreEstimate runs the Pre-estimation module over the store: draws a pilot
+// sample proportional to block sizes, estimates σ and sketch0, and derives
+// the sampling rate from the desired precision (Eq. 1).
+func PreEstimate(s *block.Store, cfg Config, r *stats.RNG) (Pilot, error) {
+	if err := cfg.Validate(); err != nil {
+		return Pilot{}, err
+	}
+	if s.TotalLen() == 0 {
+		return Pilot{}, ErrEmptyStore
+	}
+
+	// The pilot runs at the relaxed precision t_e·e so sketch0 carries the
+	// relaxed confidence interval (sketch0 − t_e·e, sketch0 + t_e·e) the
+	// modulation scheme depends on. The pilot size cannot be known before σ
+	// is known, so it bootstraps: a small fixed probe estimates σ, then the
+	// relaxed Eq. (1) determines the pilot size for sketch0.
+	relaxed := cfg.RelaxFactor * cfg.Precision
+	probeSize := int64(1000)
+	if probeSize > s.TotalLen() {
+		probeSize = s.TotalLen()
+	}
+	var probe stats.Moments
+	if err := s.PilotSample(r, probeSize, probe.Add); err != nil {
+		return Pilot{}, fmt.Errorf("core: pilot probe: %w", err)
+	}
+	sigma := probe.SampleStdDev()
+
+	pilotSize := cfg.PilotSize
+	if pilotSize == 0 {
+		var err error
+		pilotSize, err = stats.RequiredSampleSize(sigma, relaxed, cfg.Confidence)
+		if err != nil {
+			return Pilot{}, fmt.Errorf("core: pilot size: %w", err)
+		}
+	}
+	if pilotSize > s.TotalLen() {
+		pilotSize = s.TotalLen()
+	}
+	if pilotSize < probeSize {
+		pilotSize = probeSize
+	}
+
+	var pm stats.Moments
+	if err := s.PilotSample(r, pilotSize, pm.Add); err != nil {
+		return Pilot{}, fmt.Errorf("core: pilot sample: %w", err)
+	}
+	sigma = pm.SampleStdDev()
+	sketch0 := pm.Mean()
+
+	m, err := stats.RequiredSampleSize(sigma, cfg.Precision, cfg.Confidence)
+	if err != nil {
+		return Pilot{}, fmt.Errorf("core: sample size: %w", err)
+	}
+	m = int64(float64(m) * cfg.SampleFraction)
+	if m < 1 {
+		m = 1
+	}
+	rate := float64(m) / float64(s.TotalLen())
+	if rate > cfg.MaxSampleRate {
+		rate = cfg.MaxSampleRate
+		m = int64(rate * float64(s.TotalLen()))
+	}
+	return Pilot{
+		Sketch0:    sketch0,
+		Sigma:      sigma,
+		SampleRate: rate,
+		SampleSize: m,
+		PilotSize:  pilotSize + probeSize,
+		RelaxedE:   relaxed,
+		Min:        pm.Min(),
+		Max:        pm.Max(),
+	}, nil
+}
+
+// BlockPilot carries per-block pilot statistics for the non-i.i.d.
+// extension (§VII-C): per-block sketch0/σ give per-block data boundaries,
+// and the variances drive variance-aware sampling rates.
+type BlockPilot struct {
+	Sketch0 float64
+	Sigma   float64
+	Len     int64
+}
+
+// PreEstimatePerBlock draws a pilot inside every block and returns the
+// per-block statistics plus the overall sampling rate computed from the
+// pooled pilot (Eq. 1 with the pooled σ).
+func PreEstimatePerBlock(s *block.Store, cfg Config, r *stats.RNG) ([]BlockPilot, Pilot, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, Pilot{}, err
+	}
+	if s.TotalLen() == 0 {
+		return nil, Pilot{}, ErrEmptyStore
+	}
+	relaxed := cfg.RelaxFactor * cfg.Precision
+	pilots := make([]BlockPilot, s.NumBlocks())
+	var pooled stats.Moments
+	for i, b := range s.Blocks() {
+		if b.Len() == 0 {
+			pilots[i] = BlockPilot{}
+			continue
+		}
+		// Probe each block with a size proportional to the block, bounded
+		// below so small blocks still get a variance estimate.
+		probe := b.Len() / 100
+		if probe < 200 {
+			probe = 200
+		}
+		if probe > b.Len() {
+			probe = b.Len()
+		}
+		var m stats.Moments
+		if err := b.Sample(r, probe, m.Add); err != nil {
+			return nil, Pilot{}, fmt.Errorf("core: block %d pilot: %w", b.ID(), err)
+		}
+		pilots[i] = BlockPilot{Sketch0: m.Mean(), Sigma: m.SampleStdDev(), Len: b.Len()}
+		pooled.Merge(m)
+	}
+	sigma := pooled.SampleStdDev()
+	m, err := stats.RequiredSampleSize(sigma, cfg.Precision, cfg.Confidence)
+	if err != nil {
+		return nil, Pilot{}, fmt.Errorf("core: sample size: %w", err)
+	}
+	m = int64(float64(m) * cfg.SampleFraction)
+	if m < 1 {
+		m = 1
+	}
+	rate := float64(m) / float64(s.TotalLen())
+	if rate > cfg.MaxSampleRate {
+		rate = cfg.MaxSampleRate
+		m = int64(rate * float64(s.TotalLen()))
+	}
+	overall := Pilot{
+		Sketch0:    pooled.Mean(),
+		Sigma:      sigma,
+		SampleRate: rate,
+		SampleSize: m,
+		PilotSize:  pooled.Count(),
+		RelaxedE:   relaxed,
+		Min:        pooled.Min(),
+		Max:        pooled.Max(),
+	}
+	return pilots, overall, nil
+}
+
+// BlockRates computes variance-aware per-block sampling rates (§VII-C):
+// blev_i = (1+σ_i²)/(b+Σσ_j²) and rate_i = r·M·blev_i/|B_i|, capped at
+// maxRate. Blocks with more internal dispersion get proportionally larger
+// samples.
+func BlockRates(pilots []BlockPilot, overallRate float64, totalLen int64, maxRate float64) []float64 {
+	b := float64(len(pilots))
+	sumVar := 0.0
+	for _, p := range pilots {
+		sumVar += p.Sigma * p.Sigma
+	}
+	rates := make([]float64, len(pilots))
+	for i, p := range pilots {
+		if p.Len == 0 {
+			continue
+		}
+		blev := (1 + p.Sigma*p.Sigma) / (b + sumVar)
+		r := overallRate * float64(totalLen) * blev / float64(p.Len)
+		if r > maxRate {
+			r = maxRate
+		}
+		rates[i] = r
+	}
+	return rates
+}

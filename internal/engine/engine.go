@@ -1,0 +1,219 @@
+// Package engine executes parsed queries against a catalog of tables. It
+// is the glue between the query dialect, the ISLA core and the baseline
+// estimators: the paper's "system" that accepts
+// SELECT AVG(column) FROM table WITH PRECISION e and returns an answer with
+// a confidence assurance.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"isla/internal/baseline"
+	"isla/internal/block"
+	"isla/internal/core"
+	"isla/internal/leverage"
+	"isla/internal/query"
+	"isla/internal/stats"
+	"isla/internal/timebound"
+)
+
+// Table is one named column of data partitioned into blocks.
+type Table struct {
+	Name  string
+	Store *block.Store
+}
+
+// Catalog maps table names to stores. It is safe for concurrent use.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Register adds or replaces a table.
+func (c *Catalog) Register(name string, store *block.Store) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[name] = &Table{Name: name, Store: store}
+}
+
+// Lookup returns the named table.
+func (c *Catalog) Lookup(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Names returns the registered table names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Result is the outcome of executing one query.
+type Result struct {
+	Query    query.Query
+	Value    float64
+	CI       *stats.ConfidenceInterval // nil for COUNT / EXACT
+	Method   query.Method
+	Rows     int64         // M, the table size
+	Samples  int64         // samples consumed (0 for EXACT/COUNT)
+	Duration time.Duration // wall time of execution
+	Detail   *core.Result  // ISLA diagnostics when Method == MethodISLA
+}
+
+// Engine executes queries against a catalog with a base ISLA configuration
+// whose per-query knobs (precision, confidence, sample fraction, seed) are
+// overridden from the query itself.
+type Engine struct {
+	Catalog *Catalog
+	Base    core.Config
+}
+
+// New returns an engine over catalog with the paper's default config.
+func New(catalog *Catalog) *Engine {
+	return &Engine{Catalog: catalog, Base: core.DefaultConfig()}
+}
+
+// ExecuteSQL parses and executes one statement.
+func (e *Engine) ExecuteSQL(sql string) (Result, error) {
+	q, err := query.Parse(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Execute(q)
+}
+
+// Execute runs a parsed query.
+func (e *Engine) Execute(q query.Query) (Result, error) {
+	tbl, err := e.Catalog.Lookup(q.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	res := Result{Query: q, Method: q.Method, Rows: tbl.Store.TotalLen()}
+
+	// COUNT is exact from metadata regardless of method.
+	if q.Agg == query.COUNT {
+		res.Value = float64(tbl.Store.TotalLen())
+		res.Duration = time.Since(start)
+		return res, nil
+	}
+
+	avg, err := e.average(q, tbl.Store, &res)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Value = avg
+	if q.Agg == query.SUM {
+		// SUM = AVG · M (§VII-D); the CI half-width scales by M too.
+		res.Value = avg * float64(tbl.Store.TotalLen())
+		if res.CI != nil {
+			ci := *res.CI
+			ci.Center = res.Value
+			ci.HalfWidth *= float64(tbl.Store.TotalLen())
+			res.CI = &ci
+		}
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// average dispatches the AVG computation to the selected estimator.
+func (e *Engine) average(q query.Query, s *block.Store, res *Result) (float64, error) {
+	cfg := e.Base
+	if q.Precision > 0 {
+		cfg.Precision = q.Precision
+	}
+	if q.Confidence > 0 {
+		cfg.Confidence = q.Confidence
+	}
+	if q.SampleFraction > 0 {
+		cfg.SampleFraction = q.SampleFraction
+	}
+	if q.HasSeed {
+		cfg.Seed = q.Seed
+	}
+
+	switch q.Method {
+	case query.MethodExact:
+		return s.ExactMean()
+
+	case query.MethodISLA:
+		if q.TimeBudget > 0 {
+			// §VII-F: derive the precision from the wall-clock budget.
+			tb, err := timebound.Estimate(s, cfg,
+				time.Duration(q.TimeBudget*float64(time.Second)), timebound.Options{})
+			if err != nil {
+				return 0, err
+			}
+			res.CI = &tb.CI
+			res.Samples = tb.TotalSamples
+			res.Detail = &tb.Result
+			return tb.Estimate, nil
+		}
+		out, err := core.Estimate(s, cfg)
+		if err != nil {
+			return 0, err
+		}
+		res.CI = &out.CI
+		res.Samples = out.TotalSamples
+		res.Detail = &out
+		return out.Estimate, nil
+
+	case query.MethodUS, query.MethodSTS, query.MethodMV, query.MethodMVB:
+		r := stats.NewRNG(cfg.Seed)
+		pilot, err := core.PreEstimate(s, cfg, r)
+		if err != nil {
+			return 0, err
+		}
+		m := pilot.SampleSize
+		res.Samples = m
+		ci, err := stats.MeanCI(0, pilot.Sigma, m, cfg.Confidence)
+		if err != nil {
+			return 0, err
+		}
+		var v float64
+		switch q.Method {
+		case query.MethodUS:
+			v, err = baseline.Uniform(s, m, r)
+		case query.MethodSTS:
+			v, err = baseline.Stratified(s, m, r)
+		case query.MethodMV:
+			v, err = baseline.MeasureBiased(s, m, r)
+		default: // MethodMVB
+			var bounds leverage.Boundaries
+			bounds, err = leverage.NewBoundaries(pilot.Sketch0, pilot.Sigma, cfg.P1, cfg.P2)
+			if err == nil {
+				v, err = baseline.MeasureBiasedBounded(s, m, bounds, r)
+			}
+		}
+		if err != nil {
+			return 0, err
+		}
+		ci.Center = v
+		res.CI = &ci
+		return v, nil
+
+	default:
+		return 0, errors.New("engine: unsupported method")
+	}
+}

@@ -1,0 +1,132 @@
+package group
+
+import (
+	"math"
+	"testing"
+
+	"isla/internal/core"
+	"isla/internal/stats"
+)
+
+func makeRows(t *testing.T) ([]Row, map[string]float64) {
+	t.Helper()
+	r := stats.NewRNG(1)
+	specs := map[string]struct {
+		mu, sigma float64
+		n         int
+	}{
+		"east":  {100, 20, 120000},
+		"west":  {50, 10, 80000},
+		"north": {200, 40, 60000},
+		"tiny":  {10, 1, 500}, // below the exact threshold
+	}
+	rows := make([]Row, 0)
+	truths := map[string]float64{}
+	for g, sp := range specs {
+		d := stats.Normal{Mu: sp.mu, Sigma: sp.sigma}
+		var m stats.Moments
+		for i := 0; i < sp.n; i++ {
+			v := d.Sample(r)
+			rows = append(rows, Row{Group: g, Value: v})
+			m.Add(v)
+		}
+		truths[g] = m.Mean()
+	}
+	return rows, truths
+}
+
+func TestBuildAndAccessors(t *testing.T) {
+	rows, _ := makeRows(t)
+	g, err := Build(rows, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := g.Groups()
+	if len(keys) != 4 || keys[0] != "east" {
+		t.Fatalf("groups = %v", keys)
+	}
+	if g.TotalLen() != int64(len(rows)) {
+		t.Fatalf("total = %d", g.TotalLen())
+	}
+	if _, err := g.Group("east"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Group("nope"); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 5); err == nil {
+		t.Error("empty rows accepted")
+	}
+	if _, err := Build([]Row{{"a", 1}}, 0); err == nil {
+		t.Error("zero blocks accepted")
+	}
+}
+
+func TestBuildSmallGroupFewerBlocks(t *testing.T) {
+	g, err := Build([]Row{{"a", 1}, {"a", 2}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := g.Group("a")
+	if s.NumBlocks() != 2 {
+		t.Fatalf("tiny group has %d blocks, want 2", s.NumBlocks())
+	}
+}
+
+func TestAVGPerGroup(t *testing.T) {
+	rows, truths := makeRows(t)
+	g, err := Build(rows, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Precision = 1.0
+	cfg.Seed = 7
+	results, err := AVG(g, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, gr := range results {
+		truth := truths[gr.Group]
+		tol := 2 * cfg.Precision
+		if gr.Exact {
+			tol = 1e-9
+		}
+		if math.Abs(gr.Estimate-truth) > tol {
+			t.Errorf("group %s: estimate %v vs truth %v", gr.Group, gr.Estimate, truth)
+		}
+		if gr.Group == "tiny" && !gr.Exact {
+			t.Error("tiny group not computed exactly")
+		}
+		if gr.Group != "tiny" && gr.Exact {
+			t.Errorf("large group %s computed exactly", gr.Group)
+		}
+	}
+}
+
+func TestAVGValidation(t *testing.T) {
+	g, _ := Build([]Row{{"a", 1}}, 1)
+	bad := core.DefaultConfig()
+	bad.Precision = -1
+	if _, err := AVG(g, bad, Options{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestAVGResultsSorted(t *testing.T) {
+	rows := []Row{{"zeta", 1}, {"alpha", 2}, {"mid", 3}}
+	g, _ := Build(rows, 1)
+	res, err := AVG(g, core.DefaultConfig(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Group != "alpha" || res[2].Group != "zeta" {
+		t.Fatalf("not sorted: %v", res)
+	}
+}

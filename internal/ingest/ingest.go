@@ -1,0 +1,188 @@
+// Package ingest loads external data into ISLA block stores. The paper
+// stores its datasets as ".txt documents, one value per line" and as CSV
+// extracts (census, TLC); this package reads both formats, streaming, and
+// either materializes in-memory blocks or converts to the binary block-file
+// format for repeated use.
+package ingest
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"isla/internal/block"
+)
+
+// Options controls parsing.
+type Options struct {
+	// Comment skips lines starting with this prefix ("" disables).
+	Comment string
+	// SkipInvalid drops unparsable lines instead of failing (counted in
+	// the Stats).
+	SkipInvalid bool
+	// Blocks is the partition count for the resulting store (default 10).
+	Blocks int
+}
+
+func (o Options) normalize() Options {
+	if o.Blocks == 0 {
+		o.Blocks = 10
+	}
+	return o
+}
+
+// Stats reports what a load did.
+type Stats struct {
+	Lines   int64 // lines (or records) seen
+	Values  int64 // values parsed
+	Skipped int64 // invalid entries dropped (SkipInvalid)
+}
+
+// ReadValues parses one float per line from r. Blank lines are ignored.
+func ReadValues(r io.Reader, o Options) ([]float64, Stats, error) {
+	o = o.normalize()
+	var out []float64
+	var st Stats
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		st.Lines++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if o.Comment != "" && strings.HasPrefix(line, o.Comment) {
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			if o.SkipInvalid {
+				st.Skipped++
+				continue
+			}
+			return nil, st, fmt.Errorf("ingest: line %d: %w", st.Lines, err)
+		}
+		out = append(out, v)
+		st.Values++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}
+
+// LoadText reads a one-value-per-line text file into a partitioned store.
+func LoadText(path string, o Options) (*block.Store, Stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer f.Close()
+	vals, st, err := ReadValues(f, o)
+	if err != nil {
+		return nil, st, err
+	}
+	if len(vals) == 0 {
+		return nil, st, fmt.Errorf("ingest: %s contains no values", path)
+	}
+	return block.Partition(vals, o.normalize().Blocks), st, nil
+}
+
+// ReadCSVColumn parses one numeric column (by header name or 0-based index
+// when header is "") from CSV data.
+func ReadCSVColumn(r io.Reader, header string, index int, o Options) ([]float64, Stats, error) {
+	o = o.normalize()
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	var out []float64
+	var st Stats
+	col := index
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, st, err
+		}
+		st.Lines++
+		if first {
+			first = false
+			if header != "" {
+				col = -1
+				for i, h := range rec {
+					if strings.EqualFold(strings.TrimSpace(h), header) {
+						col = i
+						break
+					}
+				}
+				if col < 0 {
+					return nil, st, fmt.Errorf("ingest: no column %q in header %v", header, rec)
+				}
+				continue // header row consumed
+			}
+		}
+		if col >= len(rec) {
+			if o.SkipInvalid {
+				st.Skipped++
+				continue
+			}
+			return nil, st, fmt.Errorf("ingest: record %d has %d fields, need %d", st.Lines, len(rec), col+1)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rec[col]), 64)
+		if err != nil {
+			if o.SkipInvalid {
+				st.Skipped++
+				continue
+			}
+			return nil, st, fmt.Errorf("ingest: record %d: %w", st.Lines, err)
+		}
+		out = append(out, v)
+		st.Values++
+	}
+	return out, st, nil
+}
+
+// LoadCSV reads one numeric CSV column into a partitioned store.
+func LoadCSV(path, header string, index int, o Options) (*block.Store, Stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer f.Close()
+	vals, st, err := ReadCSVColumn(f, header, index, o)
+	if err != nil {
+		return nil, st, err
+	}
+	if len(vals) == 0 {
+		return nil, st, fmt.Errorf("ingest: %s column yields no values", path)
+	}
+	return block.Partition(vals, o.normalize().Blocks), st, nil
+}
+
+// ConvertTextToBlocks streams a text file into binary block files
+// (prefix.000…), the format the storage layer samples efficiently.
+func ConvertTextToBlocks(textPath, prefix string, o Options) (*block.Store, Stats, error) {
+	f, err := os.Open(textPath)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer f.Close()
+	vals, st, err := ReadValues(f, o)
+	if err != nil {
+		return nil, st, err
+	}
+	if len(vals) == 0 {
+		return nil, st, fmt.Errorf("ingest: %s contains no values", textPath)
+	}
+	s, err := block.WritePartitioned(prefix, vals, o.normalize().Blocks)
+	if err != nil {
+		return nil, st, err
+	}
+	return s, st, nil
+}

@@ -1,0 +1,136 @@
+package ingest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadValues(t *testing.T) {
+	in := "1.5\n\n  2.25\n# comment\n3\n"
+	vals, st, err := ReadValues(strings.NewReader(in), Options{Comment: "#"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 || vals[0] != 1.5 || vals[1] != 2.25 || vals[2] != 3 {
+		t.Fatalf("vals = %v", vals)
+	}
+	if st.Values != 3 || st.Lines != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReadValuesInvalid(t *testing.T) {
+	in := "1\nbogus\n3\n"
+	if _, _, err := ReadValues(strings.NewReader(in), Options{}); err == nil {
+		t.Fatal("invalid line accepted")
+	}
+	vals, st, err := ReadValues(strings.NewReader(in), Options{SkipInvalid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || st.Skipped != 1 {
+		t.Fatalf("vals=%v stats=%+v", vals, st)
+	}
+}
+
+func TestLoadText(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.txt")
+	if err := os.WriteFile(path, []byte("10\n20\n30\n40\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, st, err := LoadText(path, Options{Blocks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumBlocks() != 2 || s.TotalLen() != 4 {
+		t.Fatalf("store %d/%d", s.NumBlocks(), s.TotalLen())
+	}
+	if st.Values != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+	mean, _ := s.ExactMean()
+	if mean != 25 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if _, _, err := LoadText(filepath.Join(dir, "missing.txt"), Options{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	empty := filepath.Join(dir, "empty.txt")
+	os.WriteFile(empty, nil, 0o644)
+	if _, _, err := LoadText(empty, Options{}); err == nil {
+		t.Fatal("empty file accepted")
+	}
+}
+
+func TestReadCSVColumnByHeader(t *testing.T) {
+	in := "id,wage,age\n1,1000,30\n2,2000,40\n3,x,50\n"
+	vals, st, err := ReadCSVColumn(strings.NewReader(in), "wage", 0, Options{SkipInvalid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] != 1000 || vals[1] != 2000 {
+		t.Fatalf("vals = %v", vals)
+	}
+	if st.Skipped != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReadCSVColumnByIndex(t *testing.T) {
+	in := "1,10\n2,20\n"
+	vals, _, err := ReadCSVColumn(strings.NewReader(in), "", 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[1] != 20 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestReadCSVColumnErrors(t *testing.T) {
+	if _, _, err := ReadCSVColumn(strings.NewReader("a,b\n1,2\n"), "missing", 0, Options{}); err == nil {
+		t.Fatal("missing header accepted")
+	}
+	if _, _, err := ReadCSVColumn(strings.NewReader("1\n"), "", 5, Options{}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, _, err := ReadCSVColumn(strings.NewReader("a,b\nx,y\n"), "a", 0, Options{}); err == nil {
+		t.Fatal("non-numeric accepted")
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	os.WriteFile(path, []byte("v\n5\n15\n"), 0o644)
+	s, _, err := LoadCSV(path, "v", 0, Options{Blocks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, _ := s.ExactMean()
+	if mean != 10 {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+func TestConvertTextToBlocks(t *testing.T) {
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "in.txt")
+	os.WriteFile(txt, []byte("1\n2\n3\n4\n5\n6\n"), 0o644)
+	s, st, err := ConvertTextToBlocks(txt, filepath.Join(dir, "blk"), Options{Blocks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumBlocks() != 3 || s.TotalLen() != 6 || st.Values != 6 {
+		t.Fatalf("store %d/%d stats %+v", s.NumBlocks(), s.TotalLen(), st)
+	}
+	// The block files must be readable on their own.
+	for i := 0; i < 3; i++ {
+		if _, err := os.Stat(filepath.Join(dir, "blk.00"+string(rune('0'+i)))); err != nil {
+			t.Fatalf("block file %d missing: %v", i, err)
+		}
+	}
+}

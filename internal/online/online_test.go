@@ -1,0 +1,114 @@
+package online
+
+import (
+	"math"
+	"testing"
+
+	"isla/internal/block"
+	"isla/internal/core"
+	"isla/internal/workload"
+)
+
+func session(t *testing.T) (*Session, float64) {
+	t.Helper()
+	s, truth, err := workload.Normal(100, 20, 400000, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Precision = 1.0
+	cfg.Seed = 5
+	sess, err := NewSession(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess, truth
+}
+
+func TestSessionRefineImprovesPrecision(t *testing.T) {
+	sess, truth := session(t)
+	snap1, err := sess.Refine(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap1.Round != 1 || sess.Rounds() != 1 {
+		t.Fatalf("round bookkeeping: %d/%d", snap1.Round, sess.Rounds())
+	}
+	first := snap1.EffectivePrecision
+	samples1 := sess.TotalSamples()
+
+	var last Snapshot
+	for i := 0; i < 3; i++ {
+		last, err = sess.Refine(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sess.TotalSamples() <= samples1 {
+		t.Fatal("refinement drew no new samples")
+	}
+	// Effective precision must tighten roughly as 1/sqrt(rounds).
+	if last.EffectivePrecision >= first {
+		t.Fatalf("precision did not improve: %v -> %v", first, last.EffectivePrecision)
+	}
+	want := first / math.Sqrt(4)
+	if math.Abs(last.EffectivePrecision-want) > 0.1*want {
+		t.Fatalf("precision %v, want ~%v after 4 rounds", last.EffectivePrecision, want)
+	}
+	if math.Abs(last.Result.Estimate-truth) > 1.0 {
+		t.Fatalf("refined estimate %v vs truth %v", last.Result.Estimate, truth)
+	}
+}
+
+func TestSessionAnswersStayAnchored(t *testing.T) {
+	sess, truth := session(t)
+	for i := 0; i < 5; i++ {
+		snap, err := sess.Refine(0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(snap.Result.Estimate-truth) > 2 {
+			t.Fatalf("round %d estimate %v strayed from %v", i+1, snap.Result.Estimate, truth)
+		}
+	}
+}
+
+func TestSessionRefineValidation(t *testing.T) {
+	sess, _ := session(t)
+	if _, err := sess.Refine(0); err == nil {
+		t.Fatal("zero fraction accepted")
+	}
+	if _, err := sess.Refine(-1); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	cfg := core.DefaultConfig()
+	if _, err := NewSession(block.NewStore(), cfg); err == nil {
+		t.Fatal("empty store accepted")
+	}
+	s, _, _ := workload.Normal(100, 20, 1000, 2, 1)
+	cfg.Precision = -1
+	if _, err := NewSession(s, cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestSessionSampleAccounting(t *testing.T) {
+	sess, _ := session(t)
+	if sess.TotalSamples() != 0 {
+		t.Fatal("samples before first refine")
+	}
+	snap, err := sess.Refine(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromBlocks int64
+	for _, br := range snap.Result.PerBlock {
+		fromBlocks += br.Samples
+	}
+	if fromBlocks != sess.TotalSamples() {
+		t.Fatalf("per-block samples %d != session total %d", fromBlocks, sess.TotalSamples())
+	}
+}

@@ -1,0 +1,48 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// String renders the query in canonical dialect form; Parse(q.String())
+// reproduces q exactly (see the round-trip property test).
+func (q Query) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT %s(%s) FROM %s", q.Agg, q.Column, q.Table)
+	wrote := false
+	opt := func(kw, val string) {
+		if !wrote {
+			b.WriteString(" WITH")
+			wrote = true
+		}
+		b.WriteByte(' ')
+		b.WriteString(kw)
+		b.WriteByte(' ')
+		b.WriteString(val)
+	}
+	if q.Precision > 0 {
+		opt("PRECISION", formatFloat(q.Precision))
+	}
+	if q.TimeBudget > 0 {
+		opt("TIME", formatFloat(q.TimeBudget))
+	}
+	if q.Confidence > 0 {
+		opt("CONFIDENCE", formatFloat(q.Confidence))
+	}
+	if q.Method != MethodISLA {
+		opt("METHOD", q.Method.String())
+	}
+	if q.SampleFraction > 0 {
+		opt("SAMPLEFRACTION", formatFloat(q.SampleFraction))
+	}
+	if q.HasSeed {
+		opt("SEED", strconv.FormatUint(q.Seed, 10))
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,84 @@
+package query
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"isla/internal/stats"
+)
+
+func TestQueryStringBasics(t *testing.T) {
+	q := Query{Agg: AVG, Column: "price", Table: "sales", Precision: 0.1}
+	want := "SELECT AVG(price) FROM sales WITH PRECISION 0.1"
+	if got := q.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	q2 := Query{Agg: COUNT, Column: "*", Table: "t"}
+	if got := q2.String(); got != "SELECT COUNT(*) FROM t" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+// TestQueryRoundTrip: Parse(q.String()) == q for random valid queries.
+func TestQueryRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		q := Query{
+			Agg:    []Agg{AVG, SUM, COUNT}[r.Intn(3)],
+			Column: []string{"v", "price", "trip_distance"}[r.Intn(3)],
+			Table:  []string{"t", "sales", "trips"}[r.Intn(3)],
+		}
+		if q.Agg == COUNT {
+			q.Column = "*"
+		} else {
+			// A valid non-COUNT query needs precision or time or EXACT.
+			switch r.Intn(3) {
+			case 0:
+				q.Precision = math.Trunc(1000*r.Float64()+1) / 1000
+			case 1:
+				q.TimeBudget = math.Trunc(100*r.Float64()+1) / 100
+			default:
+				q.Method = MethodExact
+				q.Precision = math.Trunc(1000*r.Float64()+1) / 1000
+			}
+		}
+		if q.TimeBudget == 0 && q.Agg != COUNT && r.Intn(2) == 0 {
+			q.Method = []Method{MethodISLA, MethodExact, MethodUS, MethodSTS, MethodMV, MethodMVB}[r.Intn(6)]
+		}
+		if r.Intn(2) == 0 {
+			q.Confidence = 0.5 + math.Trunc(49*r.Float64())/100
+		}
+		if r.Intn(2) == 0 {
+			q.SampleFraction = math.Trunc(99*r.Float64()+1) / 100
+		}
+		if r.Intn(2) == 0 {
+			q.Seed = r.Uint64() % 1_000_000
+			q.HasSeed = true
+		}
+		got, err := Parse(q.String())
+		if err != nil {
+			t.Logf("Parse(%q): %v", q.String(), err)
+			return false
+		}
+		return got == q
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueryStringAllOptions(t *testing.T) {
+	q := Query{
+		Agg: SUM, Column: "v", Table: "t",
+		Precision: 0.25, Confidence: 0.99, Method: MethodMVB,
+		SampleFraction: 0.33, Seed: 42, HasSeed: true,
+	}
+	got, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q.String(), err)
+	}
+	if got != q {
+		t.Fatalf("round trip: %+v != %+v", got, q)
+	}
+}

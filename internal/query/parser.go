@@ -1,0 +1,273 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Agg identifies the aggregation function of a query.
+type Agg int
+
+// Supported aggregate functions.
+const (
+	AVG Agg = iota
+	SUM
+	COUNT
+)
+
+// String returns the SQL spelling.
+func (a Agg) String() string {
+	switch a {
+	case AVG:
+		return "AVG"
+	case SUM:
+		return "SUM"
+	case COUNT:
+		return "COUNT"
+	default:
+		return fmt.Sprintf("Agg(%d)", int(a))
+	}
+}
+
+// Method selects which estimator executes the query.
+type Method int
+
+// Available estimators: ISLA plus the paper's baselines.
+const (
+	MethodISLA Method = iota
+	MethodExact
+	MethodUS
+	MethodSTS
+	MethodMV
+	MethodMVB
+)
+
+// String returns the method's canonical name.
+func (m Method) String() string {
+	switch m {
+	case MethodISLA:
+		return "ISLA"
+	case MethodExact:
+		return "EXACT"
+	case MethodUS:
+		return "US"
+	case MethodSTS:
+		return "STS"
+	case MethodMV:
+		return "MV"
+	case MethodMVB:
+		return "MVB"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// parseMethod maps a user-supplied method name.
+func parseMethod(s string) (Method, error) {
+	switch strings.ToUpper(s) {
+	case "ISLA":
+		return MethodISLA, nil
+	case "EXACT":
+		return MethodExact, nil
+	case "US", "UNIFORM":
+		return MethodUS, nil
+	case "STS", "STRATIFIED":
+		return MethodSTS, nil
+	case "MV":
+		return MethodMV, nil
+	case "MVB":
+		return MethodMVB, nil
+	default:
+		return 0, fmt.Errorf("query: unknown method %q", s)
+	}
+}
+
+// Query is the parsed form of a statement.
+type Query struct {
+	Agg            Agg
+	Column         string // "*" only for COUNT
+	Table          string
+	Precision      float64 // required for AVG/SUM unless METHOD EXACT or TIME
+	Confidence     float64 // 0 means "use the engine default"
+	Method         Method
+	SampleFraction float64 // 0 means 1
+	Seed           uint64  // 0 means engine default
+	HasSeed        bool
+	// TimeBudget, in seconds, switches ISLA to the §VII-F time-constraint
+	// mode: the precision is derived from what the budget affords.
+	TimeBudget float64
+}
+
+// Parse parses one statement of the dialect described in the package
+// comment.
+func Parse(input string) (Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return Query{}, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expectKeyword(kw string) error {
+	if !keywordIs(p.cur(), kw) {
+		return fmt.Errorf("query: expected %s at position %d, got %q", kw, p.cur().pos, p.cur().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.cur().kind != kind {
+		return token{}, fmt.Errorf("query: expected %v at position %d, got %q", kind, p.cur().pos, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) number() (float64, error) {
+	t, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("query: bad number %q at position %d", t.text, t.pos)
+	}
+	return v, nil
+}
+
+func (p *parser) parseQuery() (Query, error) {
+	var q Query
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return q, err
+	}
+
+	aggTok := p.cur()
+	switch {
+	case keywordIs(aggTok, "AVG"):
+		q.Agg = AVG
+	case keywordIs(aggTok, "SUM"):
+		q.Agg = SUM
+	case keywordIs(aggTok, "COUNT"):
+		q.Agg = COUNT
+	default:
+		return q, fmt.Errorf("query: expected AVG, SUM or COUNT at position %d, got %q", aggTok.pos, aggTok.text)
+	}
+	p.next()
+
+	if _, err := p.expect(tokLParen); err != nil {
+		return q, err
+	}
+	switch p.cur().kind {
+	case tokStar:
+		if q.Agg != COUNT {
+			return q, fmt.Errorf("query: %v(*) is not supported; name a column", q.Agg)
+		}
+		q.Column = "*"
+		p.next()
+	case tokIdent:
+		q.Column = p.next().text
+	default:
+		return q, fmt.Errorf("query: expected column name at position %d, got %q", p.cur().pos, p.cur().text)
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return q, err
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return q, err
+	}
+	tbl, err := p.expect(tokIdent)
+	if err != nil {
+		return q, err
+	}
+	q.Table = tbl.text
+
+	// Options: WITH/WHERE PRECISION e | CONFIDENCE b | METHOD m |
+	// SAMPLEFRACTION f | SEED n, in any order. WITH and WHERE are
+	// interchangeable connectives (the paper writes WHERE desired_precision).
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == tokEOF:
+			return q, p.finish(q)
+		case keywordIs(t, "WITH"), keywordIs(t, "WHERE"), keywordIs(t, "AND"):
+			p.next()
+		case keywordIs(t, "PRECISION"):
+			p.next()
+			if q.Precision, err = p.number(); err != nil {
+				return q, err
+			}
+		case keywordIs(t, "CONFIDENCE"):
+			p.next()
+			if q.Confidence, err = p.number(); err != nil {
+				return q, err
+			}
+		case keywordIs(t, "METHOD"):
+			p.next()
+			name, err := p.expect(tokIdent)
+			if err != nil {
+				return q, err
+			}
+			if q.Method, err = parseMethod(name.text); err != nil {
+				return q, err
+			}
+		case keywordIs(t, "SAMPLEFRACTION"):
+			p.next()
+			if q.SampleFraction, err = p.number(); err != nil {
+				return q, err
+			}
+		case keywordIs(t, "TIME"):
+			p.next()
+			if q.TimeBudget, err = p.number(); err != nil {
+				return q, err
+			}
+		case keywordIs(t, "SEED"):
+			p.next()
+			v, err := p.number()
+			if err != nil {
+				return q, err
+			}
+			if v < 0 || v != float64(uint64(v)) {
+				return q, fmt.Errorf("query: SEED must be a non-negative integer, got %v", v)
+			}
+			q.Seed = uint64(v)
+			q.HasSeed = true
+		default:
+			return q, fmt.Errorf("query: unexpected %q at position %d", t.text, t.pos)
+		}
+	}
+}
+
+// finish applies cross-field validation once the token stream is consumed.
+func (p *parser) finish(q Query) error {
+	if q.Agg != COUNT && q.Method != MethodExact && q.Precision <= 0 && q.TimeBudget <= 0 {
+		return fmt.Errorf("query: %v requires WITH PRECISION e > 0, TIME t > 0 or METHOD EXACT", q.Agg)
+	}
+	if q.TimeBudget < 0 {
+		return fmt.Errorf("query: TIME %v must be positive", q.TimeBudget)
+	}
+	if q.TimeBudget > 0 && q.Method != MethodISLA {
+		return fmt.Errorf("query: TIME is only supported with METHOD ISLA")
+	}
+	if q.Confidence != 0 && !(q.Confidence > 0 && q.Confidence < 1) {
+		return fmt.Errorf("query: CONFIDENCE %v outside (0,1)", q.Confidence)
+	}
+	if q.SampleFraction != 0 && !(q.SampleFraction > 0 && q.SampleFraction <= 1) {
+		return fmt.Errorf("query: SAMPLEFRACTION %v outside (0,1]", q.SampleFraction)
+	}
+	return nil
+}

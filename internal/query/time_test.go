@@ -1,0 +1,45 @@
+package query
+
+import "testing"
+
+func TestParseTimeBudget(t *testing.T) {
+	q, err := Parse("SELECT AVG(v) FROM t WITH TIME 0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TimeBudget != 0.5 {
+		t.Fatalf("time = %v", q.TimeBudget)
+	}
+	if q.Precision != 0 {
+		t.Fatalf("precision = %v, want derived", q.Precision)
+	}
+}
+
+func TestParseTimeWithPrecision(t *testing.T) {
+	// Both may be present; the engine prefers the time budget.
+	q, err := Parse("SELECT AVG(v) FROM t WITH PRECISION 0.1 TIME 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TimeBudget != 2 || q.Precision != 0.1 {
+		t.Fatalf("q = %+v", q)
+	}
+}
+
+func TestParseTimeRejectsNonISLA(t *testing.T) {
+	if _, err := Parse("SELECT AVG(v) FROM t WITH TIME 1 METHOD MV"); err == nil {
+		t.Fatal("TIME with MV accepted")
+	}
+}
+
+func TestParseTimeRejectsNegative(t *testing.T) {
+	if _, err := Parse("SELECT AVG(v) FROM t WITH TIME -1"); err == nil {
+		t.Fatal("negative TIME accepted")
+	}
+}
+
+func TestParseNeitherPrecisionNorTime(t *testing.T) {
+	if _, err := Parse("SELECT SUM(v) FROM t"); err == nil {
+		t.Fatal("missing precision and time accepted")
+	}
+}

@@ -1,0 +1,210 @@
+// Package sample implements the sampling substrate: uniform, Bernoulli,
+// reservoir, stratified and value-weighted samplers. ISLA itself only needs
+// uniform with-replacement draws (done inside internal/block), but the
+// paper's baselines — US, STS, MV, MVB and SLEV — need the richer set here.
+package sample
+
+import (
+	"errors"
+	"fmt"
+
+	"isla/internal/stats"
+)
+
+// ErrEmptyPopulation is returned when a sampler is asked to draw from
+// nothing.
+var ErrEmptyPopulation = errors.New("sample: empty population")
+
+// UniformWithReplacement draws m values from xs uniformly with replacement.
+func UniformWithReplacement(r *stats.RNG, xs []float64, m int) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmptyPopulation
+	}
+	out := make([]float64, m)
+	for i := range out {
+		out[i] = xs[r.Intn(len(xs))]
+	}
+	return out, nil
+}
+
+// UniformWithoutReplacement draws m distinct positions from xs via a partial
+// Fisher–Yates over an index table. It returns an error if m > len(xs).
+func UniformWithoutReplacement(r *stats.RNG, xs []float64, m int) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmptyPopulation
+	}
+	if m > len(xs) {
+		return nil, fmt.Errorf("sample: m=%d exceeds population %d", m, len(xs))
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]float64, m)
+	for i := 0; i < m; i++ {
+		j := i + r.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out[i] = xs[idx[i]]
+	}
+	return out, nil
+}
+
+// Bernoulli passes each value of xs to fn independently with probability p.
+// It returns the number of values selected.
+func Bernoulli(r *stats.RNG, xs []float64, p float64, fn func(v float64)) int {
+	n := 0
+	for _, v := range xs {
+		if r.Float64() < p {
+			fn(v)
+			n++
+		}
+	}
+	return n
+}
+
+// Reservoir maintains a uniform without-replacement sample of fixed capacity
+// over a stream of unknown length (Vitter's Algorithm R). The zero value is
+// unusable; construct with NewReservoir.
+type Reservoir struct {
+	buf  []float64
+	seen int64
+	r    *stats.RNG
+}
+
+// NewReservoir returns a reservoir of capacity k using r. It panics if
+// k <= 0.
+func NewReservoir(k int, r *stats.RNG) *Reservoir {
+	if k <= 0 {
+		panic("sample: reservoir capacity must be positive")
+	}
+	return &Reservoir{buf: make([]float64, 0, k), r: r}
+}
+
+// Add offers one stream element to the reservoir.
+func (rv *Reservoir) Add(v float64) {
+	rv.seen++
+	if len(rv.buf) < cap(rv.buf) {
+		rv.buf = append(rv.buf, v)
+		return
+	}
+	if j := rv.r.Int63n(rv.seen); j < int64(cap(rv.buf)) {
+		rv.buf[j] = v
+	}
+}
+
+// Sample returns the current reservoir contents (shared slice; copy if you
+// need to keep it across further Adds).
+func (rv *Reservoir) Sample() []float64 { return rv.buf }
+
+// Seen returns the number of stream elements offered so far.
+func (rv *Reservoir) Seen() int64 { return rv.seen }
+
+// Stratified draws round(m · len(stratum)/total) values uniformly with
+// replacement from each stratum — the STS baseline of the paper's
+// experiments, with blocks as strata. The last stratum absorbs rounding so
+// exactly m values are returned.
+func Stratified(r *stats.RNG, strata [][]float64, m int) ([]float64, error) {
+	total := 0
+	for _, s := range strata {
+		total += len(s)
+	}
+	if total == 0 {
+		return nil, ErrEmptyPopulation
+	}
+	out := make([]float64, 0, m)
+	remaining := m
+	for i, s := range strata {
+		var quota int
+		if i == len(strata)-1 {
+			quota = remaining
+		} else {
+			quota = m * len(s) / total
+			if quota > remaining {
+				quota = remaining
+			}
+		}
+		remaining -= quota
+		if quota == 0 {
+			continue
+		}
+		if len(s) == 0 {
+			return nil, fmt.Errorf("sample: stratum %d empty but has quota %d", i, quota)
+		}
+		for j := 0; j < quota; j++ {
+			out = append(out, s[r.Intn(len(s))])
+		}
+	}
+	return out, nil
+}
+
+// Alias is Walker's alias method for O(1) weighted sampling. It backs the
+// measure-biased (MV/MVB) and SLEV baselines, which pick each datum with
+// probability proportional to a weight.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table from non-negative weights with a positive
+// sum.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, ErrEmptyPopulation
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("sample: negative weight %v at %d", w, i)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, errors.New("sample: weights sum to zero")
+	}
+	a := &Alias{prob: make([]float64, n), alias: make([]int, n)}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+	}
+	return a, nil
+}
+
+// Draw returns one index distributed according to the weights.
+func (a *Alias) Draw(r *stats.RNG) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// N returns the population size of the alias table.
+func (a *Alias) N() int { return len(a.prob) }

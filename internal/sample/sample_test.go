@@ -1,0 +1,280 @@
+package sample
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"isla/internal/stats"
+)
+
+func TestUniformWithReplacement(t *testing.T) {
+	r := stats.NewRNG(1)
+	xs := []float64{1, 2, 3}
+	got, err := UniformWithReplacement(r, xs, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1000 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for _, v := range got {
+		if v != 1 && v != 2 && v != 3 {
+			t.Fatalf("value %v not in population", v)
+		}
+	}
+	if _, err := UniformWithReplacement(r, nil, 5); !errors.Is(err, ErrEmptyPopulation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUniformWithoutReplacementDistinct(t *testing.T) {
+	r := stats.NewRNG(2)
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	got, err := UniformWithoutReplacement(r, xs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[float64]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("duplicate %v in without-replacement sample", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("got %d distinct, want 100", len(seen))
+	}
+}
+
+func TestUniformWithoutReplacementErrors(t *testing.T) {
+	r := stats.NewRNG(2)
+	if _, err := UniformWithoutReplacement(r, nil, 1); !errors.Is(err, ErrEmptyPopulation) {
+		t.Fatalf("empty err = %v", err)
+	}
+	if _, err := UniformWithoutReplacement(r, []float64{1}, 2); err == nil {
+		t.Fatal("oversized m accepted")
+	}
+}
+
+func TestUniformWithoutReplacementUnbiased(t *testing.T) {
+	// Every element should appear in a size-2-of-4 sample with prob 1/2.
+	r := stats.NewRNG(4)
+	counts := map[float64]int{}
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		got, err := UniformWithoutReplacement(r, []float64{0, 1, 2, 3}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range got {
+			counts[v]++
+		}
+	}
+	for v, c := range counts {
+		if math.Abs(float64(c)-trials/2) > 0.03*trials/2 {
+			t.Errorf("element %v drawn %d times, want ~%d", v, c, trials/2)
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := stats.NewRNG(3)
+	xs := make([]float64, 100000)
+	n := Bernoulli(r, xs, 0.3, func(float64) {})
+	if math.Abs(float64(n)-30000) > 1000 {
+		t.Fatalf("selected %d of 100000 at p=0.3", n)
+	}
+	if got := Bernoulli(r, xs, 0, func(float64) {}); got != 0 {
+		t.Fatalf("p=0 selected %d", got)
+	}
+}
+
+func TestReservoirExactFill(t *testing.T) {
+	rv := NewReservoir(5, stats.NewRNG(1))
+	for i := 0; i < 3; i++ {
+		rv.Add(float64(i))
+	}
+	if len(rv.Sample()) != 3 || rv.Seen() != 3 {
+		t.Fatalf("sample=%v seen=%d", rv.Sample(), rv.Seen())
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Each of 20 stream elements should end in a size-5 reservoir with p=1/4.
+	const n, k, trials = 20, 5, 20000
+	counts := make([]int, n)
+	r := stats.NewRNG(6)
+	for tr := 0; tr < trials; tr++ {
+		rv := NewReservoir(k, r)
+		for i := 0; i < n; i++ {
+			rv.Add(float64(i))
+		}
+		for _, v := range rv.Sample() {
+			counts[int(v)]++
+		}
+	}
+	want := float64(trials) * k / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.06*want {
+			t.Errorf("element %d retained %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestReservoirPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewReservoir(0) did not panic")
+		}
+	}()
+	NewReservoir(0, stats.NewRNG(1))
+}
+
+func TestStratifiedQuotas(t *testing.T) {
+	r := stats.NewRNG(5)
+	strata := [][]float64{make([]float64, 900), make([]float64, 100)}
+	for i := range strata[0] {
+		strata[0][i] = 1
+	}
+	got, err := Stratified(r, strata, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1000 {
+		t.Fatalf("len = %d, want 1000", len(got))
+	}
+	ones := 0
+	for _, v := range got {
+		if v == 1 {
+			ones++
+		}
+	}
+	if ones != 900 {
+		t.Fatalf("stratum 0 quota = %d, want exactly 900", ones)
+	}
+}
+
+func TestStratifiedErrors(t *testing.T) {
+	r := stats.NewRNG(5)
+	if _, err := Stratified(r, [][]float64{{}, {}}, 10); !errors.Is(err, ErrEmptyPopulation) {
+		t.Fatalf("err = %v", err)
+	}
+	// Empty final stratum that inherits a rounding remainder must error,
+	// not panic: quotas floor to 1+1, leaving 1 for the empty stratum.
+	if _, err := Stratified(r, [][]float64{{1}, {2}, {}}, 3); err == nil {
+		t.Fatal("empty stratum with quota accepted")
+	}
+	// Whereas an empty final stratum with zero remainder is fine.
+	if got, err := Stratified(r, [][]float64{{1, 2, 3}, {}}, 9); err != nil || len(got) != 9 {
+		t.Fatalf("got %d, err %v", len(got), err)
+	}
+}
+
+func TestStratifiedExactSize(t *testing.T) {
+	f := func(seed uint64, mRaw uint8) bool {
+		r := stats.NewRNG(seed)
+		m := 1 + int(mRaw)
+		strata := [][]float64{{1, 1}, {2, 2, 2}, {3}}
+		got, err := Stratified(r, strata, m)
+		return err == nil && len(got) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 4 {
+		t.Fatalf("N = %d", a.N())
+	}
+	r := stats.NewRNG(8)
+	counts := make([]int, 4)
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		counts[a.Draw(r)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * trials
+		if math.Abs(float64(counts[i])-want) > 0.03*want {
+			t.Errorf("index %d drawn %d times, want ~%.0f", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasDegenerateSingle(t *testing.T) {
+	a, err := NewAlias([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if a.Draw(r) != 0 {
+			t.Fatal("single-element alias drew nonzero index")
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverDrawn(t *testing.T) {
+	a, err := NewAlias([]float64{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		d := a.Draw(r)
+		if d == 0 || d == 2 {
+			t.Fatalf("zero-weight index %d drawn", d)
+		}
+	}
+}
+
+func TestAliasErrors(t *testing.T) {
+	if _, err := NewAlias(nil); !errors.Is(err, ErrEmptyPopulation) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := NewAlias([]float64{-1, 2}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewAlias([]float64{0, 0}); err == nil {
+		t.Error("zero-sum weights accepted")
+	}
+}
+
+func TestAliasProbabilitiesValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		ws := make([]float64, 1+int(seed%30))
+		for i := range ws {
+			ws[i] = r.Float64() * 10
+		}
+		ws[0] += 0.001 // ensure positive total
+		a, err := NewAlias(ws)
+		if err != nil {
+			return false
+		}
+		for _, p := range a.prob {
+			if p < 0 || p > 1.0000001 {
+				return false
+			}
+		}
+		for _, al := range a.alias {
+			if al < 0 || al >= len(ws) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

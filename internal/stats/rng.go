@@ -1,0 +1,154 @@
+// Package stats provides the statistical substrate for ISLA: deterministic
+// random number generation, probability distributions, streaming moments,
+// normal-quantile computation, confidence intervals and histograms.
+//
+// Everything is implemented on the Go standard library only, so the module
+// builds offline. All randomness flows through the RNG type, which is
+// deterministic given a seed; every experiment in the benchmark harness is
+// therefore exactly reproducible.
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xorshift128+ with a splitmix64 seeding stage). It is NOT safe for
+// concurrent use; derive per-goroutine generators with Split.
+type RNG struct {
+	s0, s1 uint64
+}
+
+// NewRNG returns a generator seeded from seed. Any seed (including 0) is
+// valid; the splitmix64 stage guarantees a non-degenerate internal state.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator to the deterministic state derived from seed.
+func (r *RNG) Seed(seed uint64) {
+	// splitmix64: recommended seeding procedure for xorshift generators.
+	next := func() uint64 {
+		seed += 0x9E3779B97F4A7C15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	r.s0 = next()
+	r.s1 = next()
+	if r.s0 == 0 && r.s1 == 0 { // cannot happen with splitmix64, but be safe
+		r.s1 = 1
+	}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Split returns a new generator whose stream is statistically independent
+// of the receiver's. It advances the receiver.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int63n returns a uniform value in [0, n) for int64 n. It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("stats: Int63n with non-positive n")
+	}
+	return int64(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// rejection method, which avoids modulo bias.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("stats: Uint64n with zero n")
+	}
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= n || lo >= -n%n { // -n%n == (2^64 - n) mod n
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// NormFloat64 returns a standard normal variate via the Marsaglia polar
+// method with a cached spare discarded (stateless variant keeps the RNG
+// struct trivially copyable and mergeable).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// ExpFloat64 returns an Exp(1) variate by inversion.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes xs in place (Fisher–Yates).
+func (r *RNG) Shuffle(xs []float64) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

@@ -1,0 +1,127 @@
+// Package timebound implements the paper's time-constraint extension
+// (§VII-F): instead of a precision target, the user sets a wall-clock
+// budget. The system measures the workload's sampling throughput with a
+// short calibration burst, converts the remaining budget into an affordable
+// sample size, derives the precision that size buys (Eq. 1 inverted), and
+// runs the standard pipeline with that precision — returning the answer
+// together with the achieved precision assurance.
+package timebound
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"isla/internal/block"
+	"isla/internal/core"
+	"isla/internal/stats"
+)
+
+// Result augments the core result with the budget accounting.
+type Result struct {
+	core.Result
+	// Budget is the wall-clock budget requested.
+	Budget time.Duration
+	// Elapsed is the total time actually spent (calibration + run).
+	Elapsed time.Duration
+	// AchievedPrecision is the e implied by the affordable sample size.
+	AchievedPrecision float64
+	// SamplesPerSecond is the calibrated throughput.
+	SamplesPerSecond float64
+}
+
+// Options tunes the calibration.
+type Options struct {
+	// CalibrationFraction is the share of the budget spent measuring
+	// throughput (default 0.1, clamped to [0.02, 0.5]).
+	CalibrationFraction float64
+	// MinSamples floors the main run so tiny budgets still return
+	// something meaningful (default 100).
+	MinSamples int64
+	// Headroom discounts the throughput estimate to leave room for the
+	// iteration phase and jitter (default 0.8).
+	Headroom float64
+}
+
+func (o Options) normalize() Options {
+	if o.CalibrationFraction == 0 {
+		o.CalibrationFraction = 0.1
+	}
+	o.CalibrationFraction = math.Min(0.5, math.Max(0.02, o.CalibrationFraction))
+	if o.MinSamples == 0 {
+		o.MinSamples = 100
+	}
+	if o.Headroom == 0 {
+		o.Headroom = 0.8
+	}
+	return o
+}
+
+// Estimate runs ISLA under a wall-clock budget. cfg.Precision is ignored
+// (derived from the budget); every other knob applies.
+func Estimate(s *block.Store, cfg core.Config, budget time.Duration, opts Options) (Result, error) {
+	if budget <= 0 {
+		return Result{}, errors.New("timebound: budget must be positive")
+	}
+	opts = opts.normalize()
+	if s.TotalLen() == 0 {
+		return Result{}, core.ErrEmptyStore
+	}
+	start := time.Now()
+
+	// Calibration burst: draw samples for a slice of the budget and count.
+	calBudget := time.Duration(float64(budget) * opts.CalibrationFraction)
+	r := stats.NewRNG(cfg.Seed)
+	var calMoments stats.Moments
+	var calSamples int64
+	const chunk = 1024
+	for time.Since(start) < calBudget {
+		if err := s.PilotSample(r, chunk, calMoments.Add); err != nil {
+			return Result{}, fmt.Errorf("timebound: calibration: %w", err)
+		}
+		calSamples += chunk
+	}
+	calElapsed := time.Since(start)
+	if calSamples == 0 || calElapsed <= 0 {
+		return Result{}, errors.New("timebound: calibration produced no samples")
+	}
+	throughput := float64(calSamples) / calElapsed.Seconds()
+
+	// Affordable sample size for the remaining budget.
+	remaining := budget - calElapsed
+	afford := int64(throughput * opts.Headroom * remaining.Seconds())
+	if afford < opts.MinSamples {
+		afford = opts.MinSamples
+	}
+	if afford > s.TotalLen() {
+		afford = s.TotalLen()
+	}
+
+	// Invert Eq. 1: the precision this sample size buys.
+	sigma := calMoments.SampleStdDev()
+	u, err := stats.ZValue(cfg.Confidence)
+	if err != nil {
+		return Result{}, err
+	}
+	e := u * sigma / math.Sqrt(float64(afford))
+	if e <= 0 || math.IsNaN(e) {
+		e = cfg.Precision
+		if e <= 0 {
+			e = 1
+		}
+	}
+	cfg.Precision = e
+
+	res, err := core.Estimate(s, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Result:            res,
+		Budget:            budget,
+		Elapsed:           time.Since(start),
+		AchievedPrecision: e,
+		SamplesPerSecond:  throughput,
+	}, nil
+}

@@ -1,0 +1,216 @@
+// Package isla is an iterative scheme for leverage-based approximate
+// aggregation — a Go implementation of Han, Wang, Wan and Li (ICDE 2019).
+//
+// ISLA answers AVG (and derived SUM) queries on block-partitioned data from
+// a small uniform sample. It maintains two estimators — a pilot "sketch"
+// with a relaxed confidence interval and a leverage-based estimator that
+// re-weights samples by their individual contribution — and iteratively
+// modulates both toward the true mean until they agree. Only O(1) state per
+// block is kept (count, Σa, Σa², Σa³ for the S and L boundary regions), so
+// no sample is ever stored and the scheme extends naturally to online
+// refinement and distributed execution.
+//
+// # Quick start
+//
+//	db := isla.NewDB()
+//	db.RegisterSlice("sales", values, 10) // 10 blocks
+//	res, err := db.Query("SELECT AVG(v) FROM sales WITH PRECISION 0.1")
+//	fmt.Println(res.Value, res.CI.Lo(), res.CI.Hi())
+//
+// Lower-level entry points expose the estimator directly (Estimate), the
+// online mode (NewSession), parallel per-block execution (EstimateParallel)
+// and the MAX/MIN extension (EstimateExtreme).
+package isla
+
+import (
+	"time"
+
+	"isla/internal/block"
+	"isla/internal/cluster"
+	"isla/internal/core"
+	"isla/internal/dist"
+	"isla/internal/engine"
+	"isla/internal/extreme"
+	"isla/internal/group"
+	"isla/internal/ingest"
+	"isla/internal/online"
+	"isla/internal/query"
+	"isla/internal/timebound"
+)
+
+// Config holds every tunable of the ISLA estimator; see DefaultConfig for
+// the paper's defaults.
+type Config = core.Config
+
+// Result is the outcome of an ISLA estimation run, including per-block
+// partial answers and pilot diagnostics.
+type Result = core.Result
+
+// Store is a collection of blocks forming one logical column.
+type Store = block.Store
+
+// Block is one partition of a column.
+type Block = block.Block
+
+// QueryResult is the outcome of executing a SQL statement.
+type QueryResult = engine.Result
+
+// Query is a parsed statement.
+type Query = query.Query
+
+// Session is a resumable online aggregation (paper §VII-A).
+type Session = online.Session
+
+// Snapshot is the state of an online session after a refinement round.
+type Snapshot = online.Snapshot
+
+// ExtremeKind selects MAX or MIN for the extreme-value extension.
+type ExtremeKind = extreme.Kind
+
+// MAX and MIN aggregation kinds for EstimateExtreme.
+const (
+	MAX = extreme.Max
+	MIN = extreme.Min
+)
+
+// ExtremeConfig tunes the extreme-value estimator.
+type ExtremeConfig = extreme.Config
+
+// ExtremeResult is an approximate MAX/MIN answer.
+type ExtremeResult = extreme.Result
+
+// DefaultConfig returns the paper's default experimental parameters
+// (e=0.1, β=0.95, p1=0.5, p2=2, λ=0.8, η=0.5).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Partition splits data into b contiguous, near-equal in-memory blocks.
+func Partition(data []float64, b int) *Store { return block.Partition(data, b) }
+
+// OpenFiles opens previously written binary block files as a store.
+func OpenFiles(paths ...string) (*Store, error) {
+	blocks := make([]block.Block, 0, len(paths))
+	for i, p := range paths {
+		fb, err := block.OpenFile(i, p)
+		if err != nil {
+			return nil, err
+		}
+		blocks = append(blocks, fb)
+	}
+	return block.NewStore(blocks...), nil
+}
+
+// WriteFiles writes data as b block files named <prefix>.000… and returns a
+// store over them.
+func WriteFiles(prefix string, data []float64, b int) (*Store, error) {
+	return block.WritePartitioned(prefix, data, b)
+}
+
+// Estimate runs the ISLA estimator on a store.
+func Estimate(s *Store, cfg Config) (Result, error) { return core.Estimate(s, cfg) }
+
+// EstimateParallel runs the estimator with parallel per-block workers
+// (paper §VII-E). Results are identical to Estimate for the same seed.
+func EstimateParallel(s *Store, cfg Config) (Result, error) { return dist.Run(s, cfg) }
+
+// NewSession starts an online aggregation over the store; call Refine to
+// add samples and tighten the answer (paper §VII-A).
+func NewSession(s *Store, cfg Config) (*Session, error) { return online.NewSession(s, cfg) }
+
+// EstimateExtreme approximates MAX or MIN with leverage-based per-block
+// sampling rates (paper §VII-D).
+func EstimateExtreme(s *Store, kind ExtremeKind, cfg ExtremeConfig) (ExtremeResult, error) {
+	return extreme.Estimate(s, kind, cfg)
+}
+
+// ExactExtreme computes the true MAX or MIN with a full scan.
+func ExactExtreme(s *Store, kind ExtremeKind) (float64, error) { return extreme.Exact(s, kind) }
+
+// ParseQuery parses one statement of the query dialect.
+func ParseQuery(sql string) (Query, error) { return query.Parse(sql) }
+
+// TimeBoundResult is the outcome of a wall-clock-budgeted run (§VII-F).
+type TimeBoundResult = timebound.Result
+
+// EstimateTimeBound runs ISLA under a wall-clock budget instead of a
+// precision target (§VII-F): a calibration burst measures throughput, the
+// affordable sample size fixes the achievable precision, and the standard
+// pipeline runs with it.
+func EstimateTimeBound(s *Store, cfg Config, budget time.Duration) (TimeBoundResult, error) {
+	return timebound.Estimate(s, cfg, budget, timebound.Options{})
+}
+
+// Worker serves blocks to a remote coordinator over net/rpc (§VII-E).
+type Worker = cluster.Worker
+
+// NewWorker returns an RPC worker owning the given blocks.
+func NewWorker(blocks ...Block) *Worker { return cluster.NewWorker(blocks...) }
+
+// Coordinator drives an aggregation across RPC workers (§VII-E).
+type Coordinator = cluster.Coordinator
+
+// NewCoordinator returns a cluster coordinator with the given config; call
+// Connect for each worker address, then Run.
+func NewCoordinator(cfg Config) *Coordinator { return cluster.NewCoordinator(cfg) }
+
+// GroupRow is one (group key, value) observation for grouped aggregation.
+type GroupRow = group.Row
+
+// GroupResult is one group's approximate average.
+type GroupResult = group.GroupResult
+
+// GroupAVG estimates per-group averages (the GROUP BY extension of
+// §VII-D): rows are partitioned by key, each large group runs ISLA, small
+// groups are scanned exactly. Results are sorted by group key.
+func GroupAVG(rows []GroupRow, blocks int, cfg Config) ([]GroupResult, error) {
+	g, err := group.Build(rows, blocks)
+	if err != nil {
+		return nil, err
+	}
+	return group.AVG(g, cfg, group.Options{})
+}
+
+// LoadText reads a one-value-per-line text file into a partitioned store
+// (the paper's ".txt document" block format).
+func LoadText(path string, blocks int) (*Store, error) {
+	s, _, err := ingest.LoadText(path, ingest.Options{Blocks: blocks, SkipInvalid: true})
+	return s, err
+}
+
+// LoadCSV reads one numeric CSV column (by header name) into a partitioned
+// store.
+func LoadCSV(path, column string, blocks int) (*Store, error) {
+	s, _, err := ingest.LoadCSV(path, column, 0, ingest.Options{Blocks: blocks, SkipInvalid: true})
+	return s, err
+}
+
+// DB is a catalog of named tables with a query engine — the paper's system
+// front end.
+type DB struct {
+	engine *engine.Engine
+}
+
+// NewDB returns an empty database with the default configuration.
+func NewDB() *DB {
+	return &DB{engine: engine.New(engine.NewCatalog())}
+}
+
+// SetBaseConfig replaces the engine's base estimator configuration; query
+// options (PRECISION, CONFIDENCE, …) still override per statement.
+func (db *DB) SetBaseConfig(cfg Config) { db.engine.Base = cfg }
+
+// RegisterStore registers a block store as a named table.
+func (db *DB) RegisterStore(name string, s *Store) { db.engine.Catalog.Register(name, s) }
+
+// RegisterSlice partitions data into b blocks and registers it as a table.
+func (db *DB) RegisterSlice(name string, data []float64, b int) {
+	db.engine.Catalog.Register(name, block.Partition(data, b))
+}
+
+// Tables returns the registered table names, sorted.
+func (db *DB) Tables() []string { return db.engine.Catalog.Names() }
+
+// Query parses and executes one statement.
+func (db *DB) Query(sql string) (QueryResult, error) { return db.engine.ExecuteSQL(sql) }
+
+// Execute runs an already-parsed query.
+func (db *DB) Execute(q Query) (QueryResult, error) { return db.engine.Execute(q) }
