@@ -23,12 +23,13 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id(s), comma separated, or 'all'")
-		n      = flag.Int("n", 1_000_000, "dataset size")
-		blocks = flag.Int("blocks", 10, "number of blocks")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		runs   = flag.Int("runs", 5, "repetitions for timing experiments")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		exp     = flag.String("exp", "all", "experiment id(s), comma separated, or 'all'")
+		n       = flag.Int("n", 1_000_000, "dataset size")
+		blocks  = flag.Int("blocks", 10, "number of blocks")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		runs    = flag.Int("runs", 5, "repetitions for timing experiments")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		jsonOut = flag.String("json", "", "run the five execution modes and write per-mode wall time + samples as JSON to the given path ('-' for stdout), then exit")
 	)
 	flag.Parse()
 
@@ -40,6 +41,29 @@ func main() {
 	}
 
 	opts := bench.Options{N: *n, Blocks: *blocks, Seed: *seed, Runs: *runs}
+
+	if *jsonOut != "" {
+		rep, err := bench.Modes(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "islabench: modes: %v\n", err)
+			os.Exit(1)
+		}
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "islabench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := rep.WriteJSON(out); err != nil {
+			fmt.Fprintf(os.Stderr, "islabench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	ids := bench.IDs()
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")

@@ -31,16 +31,18 @@ func main() {
 	flag.Var(&csvs, "csv", "load CSV column name=path:column (repeatable)")
 	clusterAddrs := flag.String("cluster", "", "comma-separated islaworker addresses; runs the query on the cluster as table 'cluster'")
 	q := flag.String("q", "", "execute one query and exit")
+	workers := flag.Int("workers", 0, "exec-runtime concurrency: 0 sequential, -1 one worker per CPU, n as-is; with -cluster, n caps in-flight RPCs (0/-1 = one per block). Answers are identical for any setting")
 	flag.Parse()
 
 	if *clusterAddrs != "" {
-		if err := runCluster(*clusterAddrs, *q); err != nil {
+		if err := runCluster(*clusterAddrs, *q, *workers); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
 	db := isla.NewDB()
+	db.SetWorkers(*workers)
 	for _, g := range gens {
 		if err := registerGen(db, g); err != nil {
 			fatal(err)
@@ -100,6 +102,9 @@ func run(db *isla.DB, sql string) error {
 	fmt.Printf("%s = %.6f", res.Query.Agg, res.Value)
 	if res.CI != nil {
 		fmt.Printf("  (±%.4g at %.0f%% confidence)", res.CI.HalfWidth, res.CI.Confidence*100)
+	}
+	if res.Truncated {
+		fmt.Printf("  TRUNCATED (budget cutoff: partial table coverage)")
 	}
 	fmt.Printf("  [method=%s rows=%d samples=%d time=%s]\n",
 		res.Method, res.Rows, res.Samples, res.Duration.Round(10_000))
@@ -214,7 +219,7 @@ func registerCSV(db *isla.DB, spec string) error {
 
 // runCluster executes one AVG query against remote islaworker processes
 // (the table name in the statement is ignored; the cluster is the table).
-func runCluster(addrs, sql string) error {
+func runCluster(addrs, sql string, workers int) error {
 	if sql == "" {
 		return fmt.Errorf("islacli: -cluster requires -q")
 	}
@@ -236,6 +241,7 @@ func runCluster(addrs, sql string) error {
 		cfg.Seed = parsed.Seed
 	}
 	coord := isla.NewCoordinator(cfg)
+	coord.Workers = workers
 	for _, a := range strings.Split(addrs, ",") {
 		if err := coord.Connect(strings.TrimSpace(a)); err != nil {
 			return err

@@ -12,13 +12,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"isla"
 	"isla/internal/block"
@@ -74,7 +77,14 @@ func main() {
 		total += b.Len()
 	}
 	fmt.Printf("islaworker: serving %d blocks (%d rows) on %s\n", len(blocks), total, l.Addr())
-	select {} // serve forever; kill the process to stop
+
+	// Serve until interrupted, then close the listener so in-flight
+	// coordinator calls fail fast instead of hanging.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Println("islaworker: shutting down")
+	l.Close()
 }
 
 // genStore parses "dist:key=val,..." into re-identified blocks.

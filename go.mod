@@ -1,0 +1,3 @@
+module isla
+
+go 1.24

@@ -1,21 +1,28 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"net/rpc"
 	"sort"
 	"sync"
 
 	"isla/internal/core"
+	"isla/internal/exec"
 	"isla/internal/modulate"
 	"isla/internal/stats"
 )
 
 // Coordinator drives an ISLA aggregation across RPC workers. It owns the
 // Pre-estimation and Summarization modules; workers only execute the
-// sampling phase and return power sums.
+// sampling phase and return power sums. The calculation fan-out runs on
+// the shared exec runtime with RPC-backed block execution.
 type Coordinator struct {
 	Cfg core.Config
+	// Workers bounds how many RPC block requests are in flight at once.
+	// Zero or negative means one in-flight request per block (the fan-out
+	// is network-bound, not CPU-bound).
+	Workers int
 
 	mu      sync.Mutex
 	clients []*rpc.Client
@@ -96,6 +103,12 @@ func (c *Coordinator) blockIDs() []int {
 // Run executes the full distributed pipeline and returns the standard ISLA
 // result. The per-block sampling runs concurrently across workers.
 func (c *Coordinator) Run() (core.Result, error) {
+	return c.RunContext(context.Background())
+}
+
+// RunContext is Run with a cancellation context: in-flight RPC fan-out
+// stops being scheduled once ctx is cancelled.
+func (c *Coordinator) RunContext(ctx context.Context) (core.Result, error) {
 	if err := c.Cfg.Validate(); err != nil {
 		return core.Result{}, err
 	}
@@ -121,43 +134,31 @@ func (c *Coordinator) Run() (core.Result, error) {
 		shift = -pilot.Min + pilot.Sigma + 1
 	}
 
-	// --- Calculation: fan out Algorithm 1, resolve Algorithm 2 locally.
-	type outcome struct {
-		br  core.BlockResult
-		err error
+	// --- Calculation on the exec runtime: ship Algorithm 1 to the block's
+	// worker, resolve Algorithm 2 locally. Seeds are keyed to block order,
+	// so the answer is independent of worker topology and fan-out width.
+	seeds := exec.Seeds(r, len(ids))
+	inflight := c.Workers
+	if inflight <= 0 {
+		inflight = len(ids)
 	}
-	results := make(chan outcome, len(ids))
-	var wg sync.WaitGroup
-	for _, id := range ids {
-		id := id
-		seed := r.Uint64()
-		// Per-block geometry in non-i.i.d. mode, global otherwise.
-		bp := pilot
-		if c.Cfg.PerBlockBounds {
-			if own, ok := perBlockPilots[id]; ok && own.Count() > 1 {
-				bp.Sketch0 = own.Mean()
-				bp.Sigma = own.SampleStdDev()
+	perBlock, err := exec.Run(ctx, inflight, len(ids),
+		func(_ context.Context, i int) (core.BlockResult, error) {
+			id := ids[i]
+			// Per-block geometry in non-i.i.d. mode, global otherwise.
+			bp := pilot
+			if c.Cfg.PerBlockBounds {
+				if own, ok := perBlockPilots[id]; ok && own.Count() > 1 {
+					bp.Sketch0 = own.Mean()
+					bp.Sigma = own.SampleStdDev()
+				}
 			}
-		}
-		opts := modOptions(c.Cfg, bp.Sigma, bp.RelaxedE)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			br, err := c.runBlock(id, bp, shift, seed, opts)
-			results <- outcome{br: br, err: err}
-		}()
+			opts := modOptions(c.Cfg, bp.Sigma, bp.RelaxedE)
+			return c.runBlock(id, bp, shift, seeds[i], opts)
+		})
+	if err != nil {
+		return core.Result{}, err
 	}
-	wg.Wait()
-	close(results)
-
-	perBlock := make([]core.BlockResult, 0, len(ids))
-	for out := range results {
-		if out.err != nil {
-			return core.Result{}, out.err
-		}
-		perBlock = append(perBlock, out.br)
-	}
-	sort.Slice(perBlock, func(i, j int) bool { return perBlock[i].BlockID < perBlock[j].BlockID })
 	return core.SummarizeBlocks(c.Cfg, pilot, shift, perBlock, total), nil
 }
 

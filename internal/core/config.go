@@ -74,6 +74,12 @@ type Config struct {
 	// per §V-B / Theorem 1; modulate.LambdaFixed uses the constant λ with
 	// the per-case dominance rules (ablation).
 	StepMode modulate.Mode
+	// Workers bounds the calculation-phase concurrency: how many blocks the
+	// execution runtime resolves simultaneously. 0 runs sequentially (one
+	// worker), negative uses one worker per CPU, positive is taken as-is.
+	// Per-block seeds are derived before dispatch, so the answer is
+	// bit-identical for every setting — Workers is purely a speed knob.
+	Workers int
 }
 
 // DefaultConfig returns the paper's default experimental parameters.

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"isla/internal/block"
+	"isla/internal/exec"
 	"isla/internal/modulate"
 	"isla/internal/stats"
 )
@@ -60,48 +62,72 @@ func (e *Estimator) Config() Config { return e.cfg }
 // variance-aware rates); otherwise the i.i.d. pipeline of the paper's main
 // sections.
 func (e *Estimator) Run(s *block.Store) (Result, error) {
-	if e.cfg.PerBlockBounds {
-		return e.runNonIID(s)
-	}
-	return e.runIID(s)
+	return e.RunContext(context.Background(), s)
 }
 
-func (e *Estimator) runIID(s *block.Store) (Result, error) {
+// RunContext is Run with a cancellation context: the calculation phase
+// stops promptly when ctx is cancelled. Blocks execute on the exec runtime
+// with cfg.Workers concurrency.
+func (e *Estimator) RunContext(ctx context.Context, s *block.Store) (Result, error) {
+	if e.cfg.PerBlockBounds {
+		return e.runNonIID(ctx, s)
+	}
+	return e.runIID(ctx, s)
+}
+
+func (e *Estimator) runIID(ctx context.Context, s *block.Store) (Result, error) {
 	r := stats.NewRNG(e.cfg.Seed)
 	plan, err := PlanIID(s, e.cfg, r)
 	if err != nil {
 		return Result{}, err
 	}
-	perBlock := make([]BlockResult, 0, s.NumBlocks())
-	for _, b := range s.Blocks() {
-		br, err := plan.RunBlock(b, r.Split())
-		if err != nil {
-			return Result{}, fmt.Errorf("core: block %d: %w", b.ID(), err)
-		}
-		perBlock = append(perBlock, br)
+	blocks := s.Blocks()
+	seeds := exec.Seeds(r, len(blocks))
+	perBlock, err := exec.Run(ctx, exec.Pool(e.cfg.Workers), len(blocks),
+		func(_ context.Context, i int) (BlockResult, error) {
+			br, err := plan.RunBlock(blocks[i], stats.NewRNG(seeds[i]))
+			if err != nil {
+				return BlockResult{}, fmt.Errorf("core: block %d: %w", blocks[i].ID(), err)
+			}
+			return br, nil
+		})
+	if err != nil {
+		return Result{}, err
 	}
 	return plan.Summarize(perBlock, s.TotalLen()), nil
 }
 
-func (e *Estimator) runNonIID(s *block.Store) (Result, error) {
+func (e *Estimator) runNonIID(ctx context.Context, s *block.Store) (Result, error) {
 	r := stats.NewRNG(e.cfg.Seed)
 	plans, overall, err := PlanNonIID(s, e.cfg, r)
 	if err != nil {
 		return Result{}, err
 	}
-	perBlock := make([]BlockResult, 0, s.NumBlocks())
+	// Seeds are consumed for planned blocks only, in block order — the same
+	// stream a sequential loop over the non-empty blocks would draw.
+	seeds := make([]uint64, len(plans))
 	var shift float64
-	for i, b := range s.Blocks() {
-		if plans[i] == nil {
-			perBlock = append(perBlock, BlockResult{BlockID: b.ID()})
-			continue
+	for i, p := range plans {
+		if p != nil {
+			seeds[i] = r.Uint64()
+			shift = p.Shift
 		}
-		shift = plans[i].Shift
-		br, err := plans[i].RunBlock(b, r.Split())
-		if err != nil {
-			return Result{}, fmt.Errorf("core: block %d: %w", b.ID(), err)
-		}
-		perBlock = append(perBlock, br)
+	}
+	blocks := s.Blocks()
+	perBlock, err := exec.Run(ctx, exec.Pool(e.cfg.Workers), len(blocks),
+		func(_ context.Context, i int) (BlockResult, error) {
+			b := blocks[i]
+			if plans[i] == nil {
+				return BlockResult{BlockID: b.ID()}, nil
+			}
+			br, err := plans[i].RunBlock(b, stats.NewRNG(seeds[i]))
+			if err != nil {
+				return BlockResult{}, fmt.Errorf("core: block %d: %w", b.ID(), err)
+			}
+			return br, nil
+		})
+	if err != nil {
+		return Result{}, err
 	}
 	return SummarizeBlocks(e.cfg, overall, shift, perBlock, s.TotalLen()), nil
 }
@@ -109,9 +135,14 @@ func (e *Estimator) runNonIID(s *block.Store) (Result, error) {
 // Estimate is a convenience wrapper: build an estimator from cfg and run it
 // on the store.
 func Estimate(s *block.Store, cfg Config) (Result, error) {
+	return EstimateContext(context.Background(), s, cfg)
+}
+
+// EstimateContext is Estimate with a cancellation context.
+func EstimateContext(ctx context.Context, s *block.Store, cfg Config) (Result, error) {
 	est, err := New(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return est.Run(s)
+	return est.RunContext(ctx, s)
 }

@@ -1,0 +1,29 @@
+// Package dist is the paper's parallel per-block execution mode (§VII-E,
+// single-machine variant): the identical estimation pipeline as core,
+// scheduled over one worker per CPU by the exec runtime. It is a thin
+// adapter — per-block seeds are derived before dispatch, so Run is
+// bit-identical to core.Estimate for the same Config.Seed regardless of
+// worker count; parallelism is purely a speed knob.
+package dist
+
+import (
+	"context"
+
+	"isla/internal/block"
+	"isla/internal/core"
+)
+
+// Run executes the estimator with parallel per-block workers. When
+// cfg.Workers is zero (the sequential default elsewhere) it upgrades to one
+// worker per CPU; an explicit setting is honored.
+func Run(s *block.Store, cfg core.Config) (core.Result, error) {
+	return RunContext(context.Background(), s, cfg)
+}
+
+// RunContext is Run with a cancellation context.
+func RunContext(ctx context.Context, s *block.Store, cfg core.Config) (core.Result, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = -1 // one worker per CPU
+	}
+	return core.EstimateContext(ctx, s, cfg)
+}

@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+
+	"isla/internal/core"
+	"isla/internal/workload"
+)
+
+func TestRunMatchesSequentialEstimateExactly(t *testing.T) {
+	s, truth, err := workload.Normal(100, 20, 300000, 12, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Precision = 0.3
+	cfg.Seed = 23
+
+	seq, err := core.Estimate(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(seq.Estimate-truth) > 5*cfg.Precision {
+		t.Fatalf("sequential estimate %v far from truth %v", seq.Estimate, truth)
+	}
+	par, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, seq, par)
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	s, _, err := workload.Normal(50, 10, 200000, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Precision = 0.2
+	cfg.Seed = 99
+
+	cfg.Workers = 1
+	base, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{4, runtime.NumCPU()} {
+		cfg.Workers = w
+		got, err := Run(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, base, got)
+	}
+}
+
+func TestRunDeterministicNonIID(t *testing.T) {
+	s, _, err := workload.PaperNonIID(40000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Precision = 0.5
+	cfg.Seed = 7
+	cfg.PerBlockBounds = true
+	cfg.VarianceAwareRates = true
+
+	seq, err := core.Estimate(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, seq, par)
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	s, _, err := workload.Normal(100, 20, 100000, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the calculation phase starts
+	_, err = RunContext(ctx, s, core.DefaultConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// assertIdentical demands bit-identical results: same estimate, same
+// per-block answers, same sample counts.
+func assertIdentical(t *testing.T, a, b core.Result) {
+	t.Helper()
+	if a.Estimate != b.Estimate {
+		t.Fatalf("estimates differ: %v vs %v", a.Estimate, b.Estimate)
+	}
+	if a.Sum != b.Sum {
+		t.Fatalf("sums differ: %v vs %v", a.Sum, b.Sum)
+	}
+	if a.TotalSamples != b.TotalSamples {
+		t.Fatalf("total samples differ: %d vs %d", a.TotalSamples, b.TotalSamples)
+	}
+	if len(a.PerBlock) != len(b.PerBlock) {
+		t.Fatalf("per-block lengths differ: %d vs %d", len(a.PerBlock), len(b.PerBlock))
+	}
+	for i := range a.PerBlock {
+		x, y := a.PerBlock[i], b.PerBlock[i]
+		if x.BlockID != y.BlockID || x.Answer != y.Answer || x.Samples != y.Samples {
+			t.Fatalf("block %d differs: %+v vs %+v", i, x, y)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -78,11 +79,15 @@ type Result struct {
 	Samples  int64         // samples consumed (0 for EXACT/COUNT)
 	Duration time.Duration // wall time of execution
 	Detail   *core.Result  // ISLA diagnostics when Method == MethodISLA
+	// Truncated reports that a time-budgeted run hit its hard wall-clock
+	// cutoff: the answer covers only a prefix of the table's blocks.
+	Truncated bool
 }
 
 // Engine executes queries against a catalog with a base ISLA configuration
 // whose per-query knobs (precision, confidence, sample fraction, seed) are
-// overridden from the query itself.
+// overridden from the query itself. Base.Workers sets the exec-runtime
+// concurrency for every estimation the engine runs.
 type Engine struct {
 	Catalog *Catalog
 	Base    core.Config
@@ -95,15 +100,26 @@ func New(catalog *Catalog) *Engine {
 
 // ExecuteSQL parses and executes one statement.
 func (e *Engine) ExecuteSQL(sql string) (Result, error) {
+	return e.ExecuteSQLContext(context.Background(), sql)
+}
+
+// ExecuteSQLContext parses and executes one statement under ctx.
+func (e *Engine) ExecuteSQLContext(ctx context.Context, sql string) (Result, error) {
 	q, err := query.Parse(sql)
 	if err != nil {
 		return Result{}, err
 	}
-	return e.Execute(q)
+	return e.ExecuteContext(ctx, q)
 }
 
 // Execute runs a parsed query.
 func (e *Engine) Execute(q query.Query) (Result, error) {
+	return e.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext runs a parsed query under ctx: cancelling it aborts the
+// estimation mid-calculation.
+func (e *Engine) ExecuteContext(ctx context.Context, q query.Query) (Result, error) {
 	tbl, err := e.Catalog.Lookup(q.Table)
 	if err != nil {
 		return Result{}, err
@@ -118,7 +134,7 @@ func (e *Engine) Execute(q query.Query) (Result, error) {
 		return res, nil
 	}
 
-	avg, err := e.average(q, tbl.Store, &res)
+	avg, err := e.average(ctx, q, tbl.Store, &res)
 	if err != nil {
 		return Result{}, err
 	}
@@ -138,7 +154,7 @@ func (e *Engine) Execute(q query.Query) (Result, error) {
 }
 
 // average dispatches the AVG computation to the selected estimator.
-func (e *Engine) average(q query.Query, s *block.Store, res *Result) (float64, error) {
+func (e *Engine) average(ctx context.Context, q query.Query, s *block.Store, res *Result) (float64, error) {
 	cfg := e.Base
 	if q.Precision > 0 {
 		cfg.Precision = q.Precision
@@ -160,7 +176,7 @@ func (e *Engine) average(q query.Query, s *block.Store, res *Result) (float64, e
 	case query.MethodISLA:
 		if q.TimeBudget > 0 {
 			// §VII-F: derive the precision from the wall-clock budget.
-			tb, err := timebound.Estimate(s, cfg,
+			tb, err := timebound.EstimateContext(ctx, s, cfg,
 				time.Duration(q.TimeBudget*float64(time.Second)), timebound.Options{})
 			if err != nil {
 				return 0, err
@@ -168,9 +184,10 @@ func (e *Engine) average(q query.Query, s *block.Store, res *Result) (float64, e
 			res.CI = &tb.CI
 			res.Samples = tb.TotalSamples
 			res.Detail = &tb.Result
+			res.Truncated = tb.Truncated
 			return tb.Estimate, nil
 		}
-		out, err := core.Estimate(s, cfg)
+		out, err := core.EstimateContext(ctx, s, cfg)
 		if err != nil {
 			return 0, err
 		}

@@ -4,15 +4,22 @@
 // paramL power sums — no sample is ever kept, and every refinement round
 // merges new streaming sums into the old ones before re-running the
 // iteration phase.
+//
+// Each round is one pass of the shared exec runtime: per-block seeds are
+// derived up front, blocks refine concurrently (Session.Workers), and the
+// per-round snapshot is assembled from the in-order result stream — the
+// "per-round snapshot" sink strategy of the unified runtime.
 package online
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"isla/internal/block"
 	"isla/internal/core"
+	"isla/internal/exec"
 	"isla/internal/leverage"
 	"isla/internal/stats"
 )
@@ -21,6 +28,14 @@ import (
 // NewSession, then call Refine repeatedly; each call adds samples and
 // returns a progressively tighter answer.
 type Session struct {
+	// Workers bounds per-round concurrency on the exec runtime: 0 runs
+	// sequentially, negative uses one worker per CPU. May be changed
+	// between rounds; the per-round seed stream does not depend on it.
+	Workers int
+	// OnBlock, when non-nil, observes every refined block result in block
+	// order as the round progresses — a progress sink for UIs.
+	OnBlock func(core.BlockResult)
+
 	store  *block.Store
 	plan   *core.Plan
 	accums []*leverage.Accum
@@ -59,11 +74,12 @@ func NewSession(s *block.Store, cfg core.Config) (*Session, error) {
 		accums[i] = leverage.NewAccum(plan.Bounds)
 	}
 	return &Session{
-		store:  s,
-		plan:   plan,
-		accums: accums,
-		drawn:  make([]int64, s.NumBlocks()),
-		rng:    r,
+		Workers: cfg.Workers,
+		store:   s,
+		plan:    plan,
+		accums:  accums,
+		drawn:   make([]int64, s.NumBlocks()),
+		rng:     r,
 	}, nil
 }
 
@@ -83,42 +99,60 @@ func (s *Session) TotalSamples() int64 {
 // 1 = a full Eq.-1 round) into the stored power sums and recomputes the
 // answer. It returns the refined snapshot.
 func (s *Session) Refine(fraction float64) (Snapshot, error) {
+	return s.RefineContext(context.Background(), fraction)
+}
+
+// RefineContext is Refine with a cancellation context. A cancelled round
+// leaves the session unusable for exact resumption (some accumulators may
+// already hold the round's samples); callers wanting a consistent state
+// should start a new session after cancellation.
+func (s *Session) RefineContext(ctx context.Context, fraction float64) (Snapshot, error) {
 	if fraction <= 0 {
 		return Snapshot{}, errors.New("online: fraction must be positive")
 	}
-	for i, b := range s.store.Blocks() {
-		if b.Len() == 0 {
-			continue
-		}
-		m := int64(fraction * s.plan.Pilot.SampleRate * float64(b.Len()))
-		if m < 1 {
-			m = 1
-		}
-		// New samples merge into the SAME accumulator — the online mode's
-		// whole point: paramS/paramL carry all prior rounds.
-		shift := s.plan.Shift
-		acc := s.accums[i]
-		if err := b.Sample(s.rng, m, func(v float64) { acc.Add(v + shift) }); err != nil {
-			return Snapshot{}, fmt.Errorf("online: block %d: %w", b.ID(), err)
-		}
-		s.drawn[i] += m
-	}
-	s.rounds++
-
-	perBlock := make([]core.BlockResult, 0, len(s.accums))
-	for i, b := range s.store.Blocks() {
-		answer, detail, err := s.plan.Resolve(s.accums[i])
-		if err != nil {
-			return Snapshot{}, fmt.Errorf("online: block %d: %w", b.ID(), err)
-		}
-		perBlock = append(perBlock, core.BlockResult{
-			BlockID: b.ID(),
-			Len:     b.Len(),
-			Samples: s.drawn[i],
-			Answer:  answer,
-			Detail:  detail,
+	blocks := s.store.Blocks()
+	seeds := exec.Seeds(s.rng, len(blocks))
+	var sinks []exec.Sink[core.BlockResult]
+	if s.OnBlock != nil {
+		sinks = append(sinks, func(_ int, br core.BlockResult) error {
+			s.OnBlock(br)
+			return nil
 		})
 	}
+	perBlock, err := exec.Run(ctx, exec.Pool(s.Workers), len(blocks),
+		func(_ context.Context, i int) (core.BlockResult, error) {
+			b := blocks[i]
+			acc := s.accums[i]
+			if b.Len() > 0 {
+				m := int64(fraction * s.plan.Pilot.SampleRate * float64(b.Len()))
+				if m < 1 {
+					m = 1
+				}
+				// New samples merge into the SAME accumulator — the online
+				// mode's whole point: paramS/paramL carry all prior rounds.
+				shift := s.plan.Shift
+				r := stats.NewRNG(seeds[i])
+				if err := b.Sample(r, m, func(v float64) { acc.Add(v + shift) }); err != nil {
+					return core.BlockResult{}, fmt.Errorf("online: block %d: %w", b.ID(), err)
+				}
+				s.drawn[i] += m
+			}
+			answer, detail, err := s.plan.Resolve(acc)
+			if err != nil {
+				return core.BlockResult{}, fmt.Errorf("online: block %d: %w", b.ID(), err)
+			}
+			return core.BlockResult{
+				BlockID: b.ID(),
+				Len:     b.Len(),
+				Samples: s.drawn[i],
+				Answer:  answer,
+				Detail:  detail,
+			}, nil
+		}, sinks...)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	s.rounds++
 	res := s.plan.Summarize(perBlock, s.store.TotalLen())
 
 	// The effective precision reflects the accumulated sample mass.

@@ -5,9 +5,15 @@
 // sample size, derives the precision that size buys (Eq. 1 inverted), and
 // runs the standard pipeline with that precision — returning the answer
 // together with the achieved precision assurance.
+//
+// The calculation phase runs on the shared exec runtime with a wall-clock
+// budget sink: if the hard cutoff fires before every block resolved, the
+// completed in-order prefix of blocks is merged into a best-effort answer
+// and the result is marked Truncated.
 package timebound
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -15,6 +21,7 @@ import (
 
 	"isla/internal/block"
 	"isla/internal/core"
+	"isla/internal/exec"
 	"isla/internal/stats"
 )
 
@@ -29,6 +36,12 @@ type Result struct {
 	AchievedPrecision float64
 	// SamplesPerSecond is the calibrated throughput.
 	SamplesPerSecond float64
+	// Truncated reports that the hard cutoff fired before every block
+	// resolved; the answer then covers only CoveredBlocks blocks and the
+	// population they hold.
+	Truncated bool
+	// CoveredBlocks is the number of blocks merged into the answer.
+	CoveredBlocks int
 }
 
 // Options tunes the calibration.
@@ -42,6 +55,11 @@ type Options struct {
 	// Headroom discounts the throughput estimate to leave room for the
 	// iteration phase and jitter (default 0.8).
 	Headroom float64
+	// CutoffFactor places the hard wall-clock cutoff at
+	// CutoffFactor × budget (default 10, matching the historical "budget
+	// is advisory" behavior). The first block always completes so a
+	// best-effort answer exists.
+	CutoffFactor float64
 }
 
 func (o Options) normalize() Options {
@@ -55,12 +73,20 @@ func (o Options) normalize() Options {
 	if o.Headroom == 0 {
 		o.Headroom = 0.8
 	}
+	if o.CutoffFactor == 0 {
+		o.CutoffFactor = 10
+	}
 	return o
 }
 
 // Estimate runs ISLA under a wall-clock budget. cfg.Precision is ignored
 // (derived from the budget); every other knob applies.
 func Estimate(s *block.Store, cfg core.Config, budget time.Duration, opts Options) (Result, error) {
+	return EstimateContext(context.Background(), s, cfg, budget, opts)
+}
+
+// EstimateContext is Estimate with a cancellation context.
+func EstimateContext(ctx context.Context, s *block.Store, cfg core.Config, budget time.Duration, opts Options) (Result, error) {
 	if budget <= 0 {
 		return Result{}, errors.New("timebound: budget must be positive")
 	}
@@ -112,16 +138,70 @@ func Estimate(s *block.Store, cfg core.Config, budget time.Duration, opts Option
 		}
 	}
 	cfg.Precision = e
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
 
-	res, err := core.Estimate(s, cfg)
+	// The non-i.i.d. pipeline keeps its per-block pilots and geometry; it
+	// runs on the shared runtime via core, without best-effort truncation.
+	if cfg.PerBlockBounds {
+		res, err := core.EstimateContext(ctx, s, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{
+			Result:            res,
+			Budget:            budget,
+			Elapsed:           time.Since(start),
+			AchievedPrecision: e,
+			SamplesPerSecond:  throughput,
+			CoveredBlocks:     len(res.PerBlock),
+		}, nil
+	}
+
+	// The standard pipeline, on the shared runtime, behind a budget sink.
+	// The same RNG discipline as core.Estimate, so an untruncated run is
+	// bit-identical to core.Estimate at the derived precision.
+	rr := stats.NewRNG(cfg.Seed)
+	plan, err := core.PlanIID(s, cfg, rr)
 	if err != nil {
 		return Result{}, err
 	}
+	blocks := s.Blocks()
+	seeds := exec.Seeds(rr, len(blocks))
+	cutoff := start.Add(time.Duration(float64(budget) * opts.CutoffFactor))
+	perBlock, err := exec.Run(ctx, exec.Pool(cfg.Workers), len(blocks),
+		func(_ context.Context, i int) (core.BlockResult, error) {
+			br, err := plan.RunBlock(blocks[i], stats.NewRNG(seeds[i]))
+			if err != nil {
+				return core.BlockResult{}, fmt.Errorf("timebound: block %d: %w", blocks[i].ID(), err)
+			}
+			return br, nil
+		}, exec.Budget[core.BlockResult](cutoff, 1))
+	truncated := false
+	if errors.Is(err, exec.ErrBudgetExceeded) && len(perBlock) > 0 {
+		truncated = true
+	} else if err != nil {
+		return Result{}, err
+	}
+
+	// Merge whatever resolved: the full store on the normal path, the
+	// covered prefix (and its population) when the cutoff fired.
+	covered := s.TotalLen()
+	if truncated {
+		covered = 0
+		for _, br := range perBlock {
+			covered += br.Len
+		}
+	}
+	res := plan.Summarize(perBlock, covered)
 	return Result{
 		Result:            res,
 		Budget:            budget,
 		Elapsed:           time.Since(start),
 		AchievedPrecision: e,
 		SamplesPerSecond:  throughput,
+		Truncated:         truncated,
+		CoveredBlocks:     len(perBlock),
 	}, nil
 }

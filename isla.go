@@ -20,9 +20,23 @@
 // Lower-level entry points expose the estimator directly (Estimate), the
 // online mode (NewSession), parallel per-block execution (EstimateParallel)
 // and the MAX/MIN extension (EstimateExtreme).
+//
+// # Execution runtime
+//
+// Every execution mode — batch (Estimate), parallel (EstimateParallel),
+// online (Session), time-bounded (EstimateTimeBound) and the RPC cluster
+// (Coordinator) — schedules its per-block calculation phase on one shared
+// runtime (internal/exec): a worker pool with deterministic per-block seed
+// derivation, in-order result delivery and context cancellation. Because
+// seeds are derived before dispatch, Config.Workers is purely a speed knob:
+// the answer is bit-identical for every worker count, and EstimateParallel
+// returns exactly what Estimate returns for the same Config.Seed. The
+// *Context variants (EstimateContext, Session.RefineContext, …) cancel a
+// run mid-calculation.
 package isla
 
 import (
+	"context"
 	"time"
 
 	"isla/internal/block"
@@ -108,9 +122,21 @@ func WriteFiles(prefix string, data []float64, b int) (*Store, error) {
 // Estimate runs the ISLA estimator on a store.
 func Estimate(s *Store, cfg Config) (Result, error) { return core.Estimate(s, cfg) }
 
+// EstimateContext is Estimate with a cancellation context: the calculation
+// phase aborts promptly when ctx is cancelled.
+func EstimateContext(ctx context.Context, s *Store, cfg Config) (Result, error) {
+	return core.EstimateContext(ctx, s, cfg)
+}
+
 // EstimateParallel runs the estimator with parallel per-block workers
-// (paper §VII-E). Results are identical to Estimate for the same seed.
+// (paper §VII-E): one worker per CPU unless cfg.Workers says otherwise.
+// Results are bit-identical to Estimate for the same seed.
 func EstimateParallel(s *Store, cfg Config) (Result, error) { return dist.Run(s, cfg) }
+
+// EstimateParallelContext is EstimateParallel with a cancellation context.
+func EstimateParallelContext(ctx context.Context, s *Store, cfg Config) (Result, error) {
+	return dist.RunContext(ctx, s, cfg)
+}
 
 // NewSession starts an online aggregation over the store; call Refine to
 // add samples and tighten the answer (paper §VII-A).
@@ -137,6 +163,11 @@ type TimeBoundResult = timebound.Result
 // pipeline runs with it.
 func EstimateTimeBound(s *Store, cfg Config, budget time.Duration) (TimeBoundResult, error) {
 	return timebound.Estimate(s, cfg, budget, timebound.Options{})
+}
+
+// EstimateTimeBoundContext is EstimateTimeBound with a cancellation context.
+func EstimateTimeBoundContext(ctx context.Context, s *Store, cfg Config, budget time.Duration) (TimeBoundResult, error) {
+	return timebound.EstimateContext(ctx, s, cfg, budget, timebound.Options{})
 }
 
 // Worker serves blocks to a remote coordinator over net/rpc (§VII-E).
@@ -212,5 +243,21 @@ func (db *DB) Tables() []string { return db.engine.Catalog.Names() }
 // Query parses and executes one statement.
 func (db *DB) Query(sql string) (QueryResult, error) { return db.engine.ExecuteSQL(sql) }
 
+// QueryContext parses and executes one statement under ctx; cancelling it
+// aborts the estimation mid-calculation.
+func (db *DB) QueryContext(ctx context.Context, sql string) (QueryResult, error) {
+	return db.engine.ExecuteSQLContext(ctx, sql)
+}
+
 // Execute runs an already-parsed query.
 func (db *DB) Execute(q Query) (QueryResult, error) { return db.engine.Execute(q) }
+
+// ExecuteContext runs an already-parsed query under ctx.
+func (db *DB) ExecuteContext(ctx context.Context, q Query) (QueryResult, error) {
+	return db.engine.ExecuteContext(ctx, q)
+}
+
+// SetWorkers sets the exec-runtime concurrency for every estimation the
+// database runs: 0 sequential, negative one worker per CPU, positive
+// as-is. Purely a speed knob — answers do not depend on it.
+func (db *DB) SetWorkers(n int) { db.engine.Base.Workers = n }
