@@ -70,10 +70,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
 		os.Exit(1)
 	}
-	if _, err := block.WritePartitioned(*out, data, *blocks); err != nil {
+	fileStore, err := block.WritePartitioned(*out, data, *blocks)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
 		os.Exit(1)
 	}
+	fileStore.Close() // datagen only writes; release the handles immediately
 	var m stats.Moments
 	m.AddAll(data)
 	fmt.Printf("wrote %d values (%d blocks) to %s.*\n", len(data), *blocks, *out)

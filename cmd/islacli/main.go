@@ -49,9 +49,11 @@ func main() {
 		}
 	}
 	for _, l := range loads {
-		if err := registerLoad(db, l); err != nil {
+		store, err := registerLoad(db, l)
+		if err != nil {
 			fatal(err)
 		}
+		defer store.Close() // release the block file handles on exit
 	}
 	for _, tl := range texts {
 		if err := registerText(db, tl); err != nil {
@@ -163,26 +165,27 @@ func registerGen(db *isla.DB, spec string) error {
 	return nil
 }
 
-// registerLoad opens prefix.000, prefix.001, … as one table.
-func registerLoad(db *isla.DB, spec string) error {
+// registerLoad opens prefix.000, prefix.001, … as one table and returns
+// the store so the caller can Close its file handles when done.
+func registerLoad(db *isla.DB, spec string) (*isla.Store, error) {
 	name, prefix, ok := strings.Cut(spec, "=")
 	if !ok {
-		return fmt.Errorf("islacli: bad -load %q (want name=prefix)", spec)
+		return nil, fmt.Errorf("islacli: bad -load %q (want name=prefix)", spec)
 	}
 	matches, err := filepath.Glob(prefix + ".*")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if len(matches) == 0 {
-		return fmt.Errorf("islacli: no block files match %s.*", prefix)
+		return nil, fmt.Errorf("islacli: no block files match %s.*", prefix)
 	}
 	sort.Strings(matches)
 	store, err := isla.OpenFiles(matches...)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	db.RegisterStore(name, store)
-	return nil
+	return store, nil
 }
 
 // registerText loads a one-value-per-line text file.

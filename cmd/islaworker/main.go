@@ -15,6 +15,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -85,6 +86,11 @@ func main() {
 	<-ctx.Done()
 	fmt.Println("islaworker: shutting down")
 	l.Close()
+	for _, b := range blocks {
+		if c, ok := b.(io.Closer); ok {
+			c.Close() // release block file handles
+		}
+	}
 }
 
 // genStore parses "dist:key=val,..." into re-identified blocks.

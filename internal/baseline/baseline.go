@@ -37,7 +37,7 @@ func Uniform(s *block.Store, m int64, r *stats.RNG) (float64, error) {
 		return 0, fmt.Errorf("baseline: sample size %d must be positive", m)
 	}
 	var acc stats.Moments
-	if err := s.PilotSample(r, m, acc.Add); err != nil {
+	if err := s.PilotSampleChunks(r, m, block.MomentsSink(&acc)); err != nil {
 		return 0, err
 	}
 	if acc.Count() == 0 {
@@ -66,7 +66,7 @@ func Stratified(s *block.Store, m int64, r *stats.RNG) (float64, error) {
 			quota = 1
 		}
 		var acc stats.Moments
-		if err := b.Sample(r, quota, acc.Add); err != nil {
+		if err := block.SampleChunks(b, r, quota, block.MomentsSink(&acc)); err != nil {
 			return 0, err
 		}
 		total += acc.Mean() * float64(b.Len())

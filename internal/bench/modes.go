@@ -29,6 +29,9 @@ type ModesReport struct {
 	Seed   uint64     `json:"seed"`
 	Truth  float64    `json:"truth"`
 	Modes  []ModeStat `json:"modes"`
+	// Sampling is the scalar-vs-batched hot-path microbenchmark
+	// (ns/sample per storage layout); see Sampling.
+	Sampling []SamplingStat `json:"sampling"`
 }
 
 // Modes runs all five execution modes — batch, parallel, online,
@@ -107,6 +110,10 @@ func Modes(o Options) (*ModesReport, error) {
 	}
 	record("cluster", start, clu.TotalSamples, clu.Estimate)
 
+	rep.Sampling, err = Sampling(o)
+	if err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 

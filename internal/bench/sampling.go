@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"isla/internal/block"
+	"isla/internal/stats"
+)
+
+// SamplingStat is one (storage layout, sampling path) cell of the batched
+// fast-path benchmark: the ns/sample trajectory tracked across commits in
+// BENCH_sampling.json.
+type SamplingStat struct {
+	Layout      string  `json:"layout"` // "mem" | "file"
+	Path        string  `json:"path"`   // "scalar" | "batch"
+	Samples     int64   `json:"samples"`
+	WallMS      float64 `json:"wall_ms"`
+	NsPerSample float64 `json:"ns_per_sample"`
+}
+
+// samplingDraws sizes one measurement: enough draws to dominate setup cost
+// without making the CI smoke run slow.
+const samplingDraws = 1 << 20
+
+// Sampling measures the scalar (per-value callback) and batched (chunked
+// buffer) sampling paths over one in-memory and one file-backed block of
+// o.N values. Both paths draw the same sample count with the same seed;
+// only the servicing differs.
+func Sampling(o Options) ([]SamplingStat, error) {
+	o = o.Defaults()
+	mem := block.NewMemBlock(0, syntheticColumn(o.N, o.Seed))
+
+	dir, err := os.MkdirTemp("", "isla-bench-sampling")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "col.000")
+	if err := block.WriteFile(path, mem.Data()); err != nil {
+		return nil, err
+	}
+	file, err := block.OpenFile(0, path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+
+	var out []SamplingStat
+	for _, layout := range []struct {
+		name string
+		blk  block.Block
+	}{{"mem", mem}, {"file", file}} {
+		for _, p := range []struct {
+			name string
+			time func(block.Block, uint64) (time.Duration, error)
+		}{{"scalar", timeScalar}, {"batch", timeBatch}} {
+			wall, err := p.time(layout.blk, o.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("bench: sampling %s/%s: %w", layout.name, p.name, err)
+			}
+			out = append(out, SamplingStat{
+				Layout:      layout.name,
+				Path:        p.name,
+				Samples:     samplingDraws,
+				WallMS:      float64(wall.Microseconds()) / 1000,
+				NsPerSample: float64(wall.Nanoseconds()) / samplingDraws,
+			})
+		}
+	}
+	return out, nil
+}
+
+// timeScalar measures the pre-batching hot path end to end: one interface
+// call per block, one closure invocation and one accumulator fold per
+// sampled value, via the scalar Sample entry point.
+func timeScalar(b block.Block, seed uint64) (time.Duration, error) {
+	r := stats.NewRNG(seed)
+	var sums stats.PowerSums
+	start := time.Now()
+	if err := b.Sample(r, samplingDraws, sums.Add); err != nil {
+		return 0, err
+	}
+	return time.Since(start), checkCount(sums.Count)
+}
+
+// timeBatch measures the batched hot path end to end: chunk-at-a-time
+// buffers from the block's BatchSampler capability folded with AddSlice.
+func timeBatch(b block.Block, seed uint64) (time.Duration, error) {
+	r := stats.NewRNG(seed)
+	var sums stats.PowerSums
+	start := time.Now()
+	err := block.SampleChunks(b, r, samplingDraws, func(vs []float64) error {
+		sums.AddSlice(vs)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return time.Since(start), checkCount(sums.Count)
+}
+
+func checkCount(n int64) error {
+	if n != samplingDraws {
+		return fmt.Errorf("bench: folded %d samples, want %d", n, samplingDraws)
+	}
+	return nil
+}
+
+// syntheticColumn generates the benchmark column: the default N(100, 20²)
+// workload values, deterministic in seed.
+func syntheticColumn(n int, seed uint64) []float64 {
+	r := stats.NewRNG(seed)
+	d := stats.Normal{Mu: 100, Sigma: 20}
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = d.Sample(r)
+	}
+	return data
+}

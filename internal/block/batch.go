@@ -1,0 +1,125 @@
+package block
+
+import (
+	"sync"
+
+	"isla/internal/stats"
+)
+
+// ChunkSize is the number of values serviced per batched sampling chunk:
+// large enough to amortize interface dispatch and RNG state round-trips —
+// and, for file blocks, to keep sorted draw offsets dense enough that
+// coalesced reads pay off — while a chunk of float64s (128 KiB) still fits
+// in L2.
+const ChunkSize = 16384
+
+// BatchSampler is the batched sampling capability: blocks that can fill a
+// caller-provided buffer in one call instead of invoking a callback per
+// draw. Both built-in blocks implement it; third-party Block
+// implementations keep working through the generic adapter in SampleInto.
+type BatchSampler interface {
+	Block
+	// SampleInto draws len(dst) values uniformly at random with
+	// replacement into dst. It must consume exactly the same RNG stream as
+	// Sample(r, len(dst), fn) and deliver values in draw order, so scalar
+	// and batched consumers are interchangeable without changing results.
+	SampleInto(r *stats.RNG, dst []float64) error
+}
+
+// SampleInto fills dst with uniform with-replacement draws from b, using
+// the block's batched fast path when it has one and falling back to the
+// callback API otherwise. Either way the values land in draw order and the
+// RNG advances exactly as the scalar path would.
+func SampleInto(b Block, r *stats.RNG, dst []float64) error {
+	if bs, ok := b.(BatchSampler); ok {
+		return bs.SampleInto(r, dst)
+	}
+	i := 0
+	return b.Sample(r, int64(len(dst)), func(v float64) { dst[i] = v; i++ })
+}
+
+// chunkPool recycles sampling buffers across SampleChunks calls, so
+// steady-state sampling does no per-block allocations: each worker
+// goroutine checks a chunk out for the duration of one block's draw.
+var chunkPool = sync.Pool{
+	New: func() any {
+		buf := make([]float64, ChunkSize)
+		return &buf
+	},
+}
+
+// SampleChunks draws m values from b and delivers them chunk-at-a-time
+// through fn, in draw order, using a pooled buffer. The chunk slice is
+// reused between calls — fn must not retain it. This is the batched
+// replacement for Block.Sample's per-value callback: identical RNG stream
+// and value order, one call per ChunkSize values instead of one per value.
+func SampleChunks(b Block, r *stats.RNG, m int64, fn func(vs []float64) error) error {
+	if m <= 0 {
+		return nil
+	}
+	bufp := chunkPool.Get().(*[]float64)
+	defer chunkPool.Put(bufp)
+	buf := *bufp
+	for m > 0 {
+		k := int64(len(buf))
+		if k > m {
+			k = m
+		}
+		chunk := buf[:k]
+		if err := SampleInto(b, r, chunk); err != nil {
+			return err
+		}
+		if err := fn(chunk); err != nil {
+			return err
+		}
+		m -= k
+	}
+	return nil
+}
+
+// idxPool recycles index buffers for the in-memory gather path; a pooled
+// buffer beats a stack array here because tiny draws (pilot probes with
+// quota 1) must not pay a ChunkSize-sized zeroing.
+var idxPool = sync.Pool{
+	New: func() any {
+		buf := make([]int64, ChunkSize)
+		return &buf
+	},
+}
+
+// SampleInto implements BatchSampler by bulk-generating indices and
+// gathering straight from the backing slice.
+func (b *MemBlock) SampleInto(r *stats.RNG, dst []float64) error {
+	n := int64(len(b.data))
+	if n == 0 {
+		if len(dst) == 0 {
+			return nil
+		}
+		return ErrEmptyBlock
+	}
+	idxp := idxPool.Get().(*[]int64)
+	defer idxPool.Put(idxp)
+	data := b.data
+	for len(dst) > 0 {
+		k := len(dst)
+		if k > ChunkSize {
+			k = ChunkSize
+		}
+		idx := (*idxp)[:k]
+		r.FillInt63n(idx, n)
+		for i, j := range idx {
+			dst[i] = data[j]
+		}
+		dst = dst[k:]
+	}
+	return nil
+}
+
+// MomentsSink adapts a Moments accumulator to a SampleChunks /
+// PilotSampleChunks chunk function — the common fold of every pilot draw.
+func MomentsSink(m *stats.Moments) func(vs []float64) error {
+	return func(vs []float64) error {
+		m.AddSlice(vs)
+		return nil
+	}
+}

@@ -10,6 +10,7 @@ package block
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"isla/internal/stats"
 )
@@ -152,18 +153,43 @@ func (s *Store) ExactSum() (float64, error) {
 
 // PilotSample draws m values uniformly across the store, allocating the
 // per-block quota proportionally to block size (the paper's Pre-estimation
-// sampling discipline) and folding every value into fn.
+// sampling discipline) and folding every value into fn. It is the scalar
+// adapter over PilotSampleChunks; prefer the chunk form on hot paths.
 func (s *Store) PilotSample(r *stats.RNG, m int64, fn func(v float64)) error {
+	return s.PilotSampleChunks(r, m, func(vs []float64) error {
+		for _, v := range vs {
+			fn(v)
+		}
+		return nil
+	})
+}
+
+// PilotSampleChunks is the batched form of PilotSample: quotas are
+// allocated proportionally to block size and each block's draw is serviced
+// chunk-at-a-time through fn (draw order, pooled buffer — fn must not
+// retain the slice). Rounding slack is absorbed by the last non-empty
+// block, so stores with trailing empty blocks still fill the full quota
+// instead of failing with ErrEmptyBlock.
+func (s *Store) PilotSampleChunks(r *stats.RNG, m int64, fn func(vs []float64) error) error {
 	if s.total == 0 {
 		return ErrEmptyBlock
 	}
 	if m <= 0 {
 		return fmt.Errorf("block: pilot sample size %d must be positive", m)
 	}
+	last := -1
+	for i, b := range s.blocks {
+		if b.Len() > 0 {
+			last = i
+		}
+	}
 	remaining := m
 	for i, b := range s.blocks {
+		if b.Len() == 0 {
+			continue
+		}
 		var quota int64
-		if i == len(s.blocks)-1 {
+		if i == last {
 			quota = remaining
 		} else {
 			quota = m * b.Len() / s.total
@@ -175,11 +201,26 @@ func (s *Store) PilotSample(r *stats.RNG, m int64, fn func(v float64)) error {
 		if quota == 0 {
 			continue
 		}
-		if err := b.Sample(r, quota, fn); err != nil {
+		if err := SampleChunks(b, r, quota, fn); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// Close releases resources held by the store's blocks: every block
+// implementing io.Closer (file-backed blocks) is closed. The first error is
+// returned, but every block is attempted.
+func (s *Store) Close() error {
+	var first error
+	for _, b := range s.blocks {
+		if c, ok := b.(io.Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
 }
 
 // Partition splits data into b contiguous, near-equal in-memory blocks —

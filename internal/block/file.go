@@ -7,6 +7,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"slices"
+	"sync"
 
 	"isla/internal/stats"
 )
@@ -17,14 +19,20 @@ var fileMagic = [8]byte{'I', 'S', 'L', 'B', 0, 0, 0, 1}
 const headerSize = 16 // magic (8) + count (8)
 
 // FileBlock is a Block stored in a binary file: a 16-byte header followed by
-// little-endian float64 values. Random access sampling seeks directly to
-// value offsets; scans stream through a buffered reader. This simulates the
-// paper's ".txt documents on disk" blocks without the parse cost skewing
-// efficiency benchmarks.
+// little-endian float64 values. The file handle opened by OpenFile is kept
+// for the block's lifetime — random-access sampling and scans share it via
+// positioned reads (safe for concurrent use), so no operation pays an
+// open/close round-trip. Call Close (directly or via Store.Close) when the
+// block is no longer needed. This simulates the paper's ".txt documents on
+// disk" blocks without the parse cost skewing efficiency benchmarks.
 type FileBlock struct {
 	id   int
 	path string
 	n    int64
+
+	f         *os.File
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // WriteFile writes data to path in the ISLA block format.
@@ -58,30 +66,43 @@ func WriteFile(path string, data []float64) error {
 	return f.Close()
 }
 
-// OpenFile opens a block file previously written by WriteFile and validates
-// its header.
+// OpenFile opens a block file previously written by WriteFile, validates
+// its header and keeps the handle open for the block's lifetime — one file
+// descriptor per block, so a store's block count is bounded by the process
+// fd limit (block counts here are normally tens, not thousands; the paper
+// uses b≈10).
 func OpenFile(id int, path string) (*FileBlock, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
 		return nil, fmt.Errorf("block: reading header of %s: %w", path, err)
 	}
 	if [8]byte(hdr[:8]) != fileMagic {
+		f.Close()
 		return nil, fmt.Errorf("block: %s is not an ISLA block file", path)
 	}
 	n := int64(binary.LittleEndian.Uint64(hdr[8:16]))
 	st, err := f.Stat()
 	if err != nil {
+		f.Close()
 		return nil, err
 	}
 	if want := headerSize + 8*n; st.Size() != want {
+		f.Close()
 		return nil, fmt.Errorf("block: %s truncated: size %d, want %d", path, st.Size(), want)
 	}
-	return &FileBlock{id: id, path: path, n: n}, nil
+	return &FileBlock{id: id, path: path, n: n, f: f}, nil
+}
+
+// Close releases the block's file handle. Further Scan/Sample calls fail.
+// Safe to call more than once.
+func (b *FileBlock) Close() error {
+	b.closeOnce.Do(func() { b.closeErr = b.f.Close() })
+	return b.closeErr
 }
 
 // ID implements Block.
@@ -93,17 +114,11 @@ func (b *FileBlock) Len() int64 { return b.n }
 // Path returns the underlying file path.
 func (b *FileBlock) Path() string { return b.path }
 
-// Scan implements Block by streaming the file through a buffered reader.
+// Scan implements Block by streaming the value section through a buffered
+// reader layered over the shared handle (positioned reads, so concurrent
+// scans and samples do not interfere).
 func (b *FileBlock) Scan(fn func(v float64) error) error {
-	f, err := os.Open(b.path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if _, err := f.Seek(headerSize, io.SeekStart); err != nil {
-		return err
-	}
-	r := bufio.NewReaderSize(f, 1<<20)
+	r := bufio.NewReaderSize(io.NewSectionReader(b.f, headerSize, 8*b.n), 1<<20)
 	var buf [8]byte
 	for i := int64(0); i < b.n; i++ {
 		if _, err := io.ReadFull(r, buf[:]); err != nil {
@@ -116,7 +131,8 @@ func (b *FileBlock) Scan(fn func(v float64) error) error {
 	return nil
 }
 
-// Sample implements Block with positioned reads at random offsets.
+// Sample implements Block with positioned reads at random offsets on the
+// shared handle.
 func (b *FileBlock) Sample(r *stats.RNG, m int64, fn func(v float64)) error {
 	if b.n == 0 {
 		if m == 0 {
@@ -124,15 +140,10 @@ func (b *FileBlock) Sample(r *stats.RNG, m int64, fn func(v float64)) error {
 		}
 		return ErrEmptyBlock
 	}
-	f, err := os.Open(b.path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
 	var buf [8]byte
 	for i := int64(0); i < m; i++ {
 		off := headerSize + 8*r.Int63n(b.n)
-		if _, err := f.ReadAt(buf[:], off); err != nil {
+		if _, err := b.f.ReadAt(buf[:], off); err != nil {
 			return fmt.Errorf("block: sampling %s at offset %d: %w", b.path, off, err)
 		}
 		fn(math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
@@ -140,9 +151,111 @@ func (b *FileBlock) Sample(r *stats.RNG, m int64, fn func(v float64)) error {
 	return nil
 }
 
+// Batched file sampling works in sorted-offset runs: each chunk's draw
+// indices are sorted (keyed with their draw position), neighboring indices
+// are coalesced into one positioned read when the gap is small, and decoded
+// values are scattered back to their draw positions — ascending disk order
+// for the kernel, draw order for the caller.
+const (
+	// fileSpanBytes caps one coalesced read (must cover at least one value).
+	fileSpanBytes = 1 << 17
+	// fileGapValues is the largest index gap worth reading through: beyond
+	// 1024 values (8 KiB) a separate positioned read beats dragging the
+	// intervening bytes in.
+	fileGapValues = 1024
+	// filePosBits packs a draw position (< ChunkSize) into the low bits of
+	// a sort key, with the draw index in the high bits.
+	filePosBits = 14
+)
+
+// A draw position must fit in filePosBits (compile-time check).
+var _ [1<<filePosBits - ChunkSize]struct{}
+
+// fileScratch holds the per-chunk working set for batched file sampling.
+type fileScratch struct {
+	idx  []int64  // draw-order indices for one chunk
+	keys []uint64 // index<<filePosBits | position, sorted for locality
+	span []byte   // coalesced read buffer
+}
+
+var fileScratchPool = sync.Pool{
+	New: func() any {
+		return &fileScratch{
+			idx:  make([]int64, ChunkSize),
+			keys: make([]uint64, ChunkSize),
+			span: make([]byte, fileSpanBytes),
+		}
+	},
+}
+
+// SampleInto implements BatchSampler: bulk index generation, then
+// locality-friendly coalesced positioned reads, delivering values in draw
+// order. The RNG stream matches Sample exactly.
+func (b *FileBlock) SampleInto(r *stats.RNG, dst []float64) error {
+	if b.n == 0 {
+		if len(dst) == 0 {
+			return nil
+		}
+		return ErrEmptyBlock
+	}
+	sc := fileScratchPool.Get().(*fileScratch)
+	defer fileScratchPool.Put(sc)
+	for len(dst) > 0 {
+		k := len(dst)
+		if k > ChunkSize {
+			k = ChunkSize
+		}
+		if err := b.sampleChunk(r, dst[:k], sc); err != nil {
+			return err
+		}
+		dst = dst[k:]
+	}
+	return nil
+}
+
+// sampleChunk services one chunk of at most ChunkSize draws.
+func (b *FileBlock) sampleChunk(r *stats.RNG, dst []float64, sc *fileScratch) error {
+	k := len(dst)
+	idx := sc.idx[:k]
+	r.FillInt63n(idx, b.n)
+	keys := sc.keys[:k]
+	for i, j := range idx {
+		keys[i] = uint64(j)<<filePosBits | uint64(i)
+	}
+	slices.Sort(keys)
+	for i := 0; i < k; {
+		base := int64(keys[i] >> filePosBits)
+		// Extend the run while the next index is close enough to coalesce
+		// and the span still fits the read buffer.
+		j := i + 1
+		for j < k {
+			next := int64(keys[j] >> filePosBits)
+			prev := int64(keys[j-1] >> filePosBits)
+			if next-prev > fileGapValues || (next-base+1)*8 > fileSpanBytes {
+				break
+			}
+			j++
+		}
+		last := int64(keys[j-1] >> filePosBits)
+		span := sc.span[:(last-base+1)*8]
+		off := headerSize + 8*base
+		if _, err := b.f.ReadAt(span, off); err != nil {
+			return fmt.Errorf("block: sampling %s at offset %d: %w", b.path, off, err)
+		}
+		for t := i; t < j; t++ {
+			id := int64(keys[t] >> filePosBits)
+			pos := keys[t] & (1<<filePosBits - 1)
+			dst[pos] = math.Float64frombits(binary.LittleEndian.Uint64(span[8*(id-base):]))
+		}
+		i = j
+	}
+	return nil
+}
+
 // WritePartitioned writes data as b block files named <prefix>.000, ... and
 // returns a Store over them, mirroring the paper's "pre-processed and saved
-// in b documents to simulate b blocks" experimental setup.
+// in b documents to simulate b blocks" experimental setup. Close the store
+// to release the file handles.
 func WritePartitioned(prefix string, data []float64, b int) (*Store, error) {
 	if b <= 0 {
 		return nil, fmt.Errorf("block: partition count %d must be positive", b)
@@ -154,10 +267,13 @@ func WritePartitioned(prefix string, data []float64, b int) (*Store, error) {
 		hi := (i + 1) * n / b
 		path := fmt.Sprintf("%s.%03d", prefix, i)
 		if err := WriteFile(path, data[lo:hi]); err != nil {
+			// Release the handles already opened before reporting.
+			NewStore(blocks...).Close()
 			return nil, err
 		}
 		fb, err := OpenFile(i, path)
 		if err != nil {
+			NewStore(blocks...).Close()
 			return nil, err
 		}
 		blocks = append(blocks, fb)

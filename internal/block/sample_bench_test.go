@@ -1,0 +1,121 @@
+package block
+
+import (
+	"path/filepath"
+	"testing"
+
+	"isla/internal/stats"
+)
+
+// The scalar/batch benchmark pairs below are the evidence for the batched
+// sampling fast path: same draw count, same RNG discipline, per-value
+// callback vs chunked buffers. Run with
+//
+//	go test ./internal/block -bench 'Sample(Scalar|Batch)' -benchmem
+//
+// and compare ns/sample (reported as a custom metric).
+
+const benchDraws = 1 << 16
+
+func benchData(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i%1000) + 0.25
+	}
+	return xs
+}
+
+func benchFileBlock(b *testing.B, n int) *FileBlock {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "bench")
+	if err := WriteFile(path, benchData(n)); err != nil {
+		b.Fatal(err)
+	}
+	fb, err := OpenFile(0, path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { fb.Close() })
+	return fb
+}
+
+// runScalar draws benchDraws values through the per-value callback path.
+func runScalar(b *testing.B, blk Block) {
+	b.Helper()
+	r := stats.NewRNG(1)
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := blk.Sample(r, benchDraws, func(v float64) { sink += v }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportPerSample(b)
+	_ = sink
+}
+
+// runBatch draws benchDraws values through the chunked path.
+func runBatch(b *testing.B, blk Block) {
+	b.Helper()
+	r := stats.NewRNG(1)
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := SampleChunks(blk, r, benchDraws, func(vs []float64) error {
+			for _, v := range vs {
+				sink += v
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportPerSample(b)
+	_ = sink
+}
+
+func reportPerSample(b *testing.B) {
+	b.Helper()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/benchDraws, "ns/sample")
+}
+
+func BenchmarkMemSampleScalar(b *testing.B) {
+	runScalar(b, scalarOnly{NewMemBlock(0, benchData(1_000_000))})
+}
+
+func BenchmarkMemSampleBatch(b *testing.B) {
+	runBatch(b, NewMemBlock(0, benchData(1_000_000)))
+}
+
+func BenchmarkFileSampleScalar(b *testing.B) {
+	runScalar(b, scalarOnly{benchFileBlock(b, 1_000_000)})
+}
+
+func BenchmarkFileSampleBatch(b *testing.B) {
+	runBatch(b, benchFileBlock(b, 1_000_000))
+}
+
+// Accumulation-layer pairs: the same draws folded per value vs per chunk
+// into the Algorithm-1 accumulator state.
+func BenchmarkMomentsAddScalar(b *testing.B) {
+	xs := benchData(benchDraws)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var m stats.Moments
+		for _, x := range xs {
+			m.Add(x)
+		}
+	}
+}
+
+func BenchmarkMomentsAddSlice(b *testing.B) {
+	xs := benchData(benchDraws)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var m stats.Moments
+		m.AddSlice(xs)
+	}
+}

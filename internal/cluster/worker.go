@@ -129,7 +129,7 @@ func (w *Worker) Pilot(args PilotArgs, reply *PilotReply) error {
 	}
 	var m stats.Moments
 	r := stats.NewRNG(args.Seed)
-	if err := b.Sample(r, args.SampleSize, m.Add); err != nil {
+	if err := block.SampleChunks(b, r, args.SampleSize, block.MomentsSink(&m)); err != nil {
 		return err
 	}
 	reply.BlockID = args.BlockID
@@ -159,7 +159,11 @@ func (w *Worker) Sample(args SampleArgs, reply *SampleReply) error {
 	}
 	acc := leverage.NewAccum(bounds)
 	r := stats.NewRNG(args.Seed)
-	if err := b.Sample(r, args.SampleSize, func(v float64) { acc.Add(v + args.Shift) }); err != nil {
+	err = block.SampleChunks(b, r, args.SampleSize, func(vs []float64) error {
+		acc.AddShifted(vs, args.Shift)
+		return nil
+	})
+	if err != nil {
 		return err
 	}
 	reply.BlockID = args.BlockID

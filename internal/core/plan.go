@@ -89,14 +89,21 @@ func PlanNonIID(s *block.Store, cfg Config, r *stats.RNG) ([]*Plan, Pilot, error
 }
 
 // SampleBlock runs Algorithm 1 on one block: draws the plan's sample quota
-// and folds the (shifted) values into a fresh accumulator.
+// chunk-at-a-time over the batched sampling path and folds the (shifted)
+// values into a fresh accumulator. The RNG stream and accumulation order
+// match the scalar per-value path exactly, so results are bit-identical
+// for the same seed.
 func (p *Plan) SampleBlock(b block.Block, r *stats.RNG) (*leverage.Accum, int64, error) {
 	m := int64(p.Pilot.SampleRate * float64(b.Len()))
 	if m < 1 {
 		m = 1
 	}
 	acc := leverage.NewAccum(p.Bounds)
-	if err := b.Sample(r, m, func(v float64) { acc.Add(v + p.Shift) }); err != nil {
+	err := block.SampleChunks(b, r, m, func(vs []float64) error {
+		acc.AddShifted(vs, p.Shift)
+		return nil
+	})
+	if err != nil {
 		return nil, 0, err
 	}
 	return acc, m, nil

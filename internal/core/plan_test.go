@@ -12,9 +12,15 @@ import (
 var errInjected = errors.New("injected block failure")
 
 // errBlock always fails to sample — failure injection for per-block paths.
+// It overrides both the scalar and the batched entry points: embedding
+// MemBlock would otherwise promote the working SampleInto fast path.
 type errBlock struct{ *block.MemBlock }
 
 func (e *errBlock) Sample(_ *stats.RNG, _ int64, _ func(v float64)) error {
+	return errInjected
+}
+
+func (e *errBlock) SampleInto(_ *stats.RNG, _ []float64) error {
 	return errInjected
 }
 

@@ -46,7 +46,7 @@ func PreEstimate(s *block.Store, cfg Config, r *stats.RNG) (Pilot, error) {
 		probeSize = s.TotalLen()
 	}
 	var probe stats.Moments
-	if err := s.PilotSample(r, probeSize, probe.Add); err != nil {
+	if err := s.PilotSampleChunks(r, probeSize, block.MomentsSink(&probe)); err != nil {
 		return Pilot{}, fmt.Errorf("core: pilot probe: %w", err)
 	}
 	sigma := probe.SampleStdDev()
@@ -67,7 +67,7 @@ func PreEstimate(s *block.Store, cfg Config, r *stats.RNG) (Pilot, error) {
 	}
 
 	var pm stats.Moments
-	if err := s.PilotSample(r, pilotSize, pm.Add); err != nil {
+	if err := s.PilotSampleChunks(r, pilotSize, block.MomentsSink(&pm)); err != nil {
 		return Pilot{}, fmt.Errorf("core: pilot sample: %w", err)
 	}
 	sigma = pm.SampleStdDev()
@@ -135,7 +135,7 @@ func PreEstimatePerBlock(s *block.Store, cfg Config, r *stats.RNG) ([]BlockPilot
 			probe = b.Len()
 		}
 		var m stats.Moments
-		if err := b.Sample(r, probe, m.Add); err != nil {
+		if err := block.SampleChunks(b, r, probe, block.MomentsSink(&m)); err != nil {
 			return nil, Pilot{}, fmt.Errorf("core: block %d pilot: %w", b.ID(), err)
 		}
 		pilots[i] = BlockPilot{Sketch0: m.Mean(), Sigma: m.SampleStdDev(), Len: b.Len()}

@@ -110,7 +110,7 @@ func Estimate(s *block.Store, kind Kind, cfg Config) (Result, error) {
 			probe = b.Len()
 		}
 		var m stats.Moments
-		if err := b.Sample(r, probe, m.Add); err != nil {
+		if err := block.SampleChunks(b, r, probe, block.MomentsSink(&m)); err != nil {
 			return Result{}, fmt.Errorf("extreme: block %d pilot: %w", b.ID(), err)
 		}
 		pilots[i] = pilotStat{mean: m.Mean(), sigma: m.SampleStdDev(), n: b.Len()}
@@ -176,13 +176,16 @@ func Estimate(s *block.Store, kind Kind, cfg Config) (Result, error) {
 		if kind == Min {
 			ext = math.Inf(1)
 		}
-		err := b.Sample(r, m, func(v float64) {
-			if kind == Max && v > ext {
-				ext = v
+		err := block.SampleChunks(b, r, m, func(vs []float64) error {
+			for _, v := range vs {
+				if kind == Max && v > ext {
+					ext = v
+				}
+				if kind == Min && v < ext {
+					ext = v
+				}
 			}
-			if kind == Min && v < ext {
-				ext = v
-			}
+			return nil
 		})
 		if err != nil {
 			return Result{}, fmt.Errorf("extreme: block %d: %w", b.ID(), err)

@@ -1,0 +1,49 @@
+package leverage
+
+import (
+	"math"
+	"testing"
+
+	"isla/internal/stats"
+)
+
+// AddShifted must produce bit-identical power sums to a scalar loop of
+// Add(v+shift), across every region and for non-finite values.
+func TestAccumAddShiftedBitIdentical(t *testing.T) {
+	bounds, err := NewBoundaries(100, 20, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(3)
+	vs := make([]float64, 6000)
+	for i := range vs {
+		vs[i] = stats.Normal{Mu: 95, Sigma: 35}.Sample(r)
+	}
+	// Pepper in boundary-exact and pathological values: the batched ladder
+	// must classify them exactly like Boundaries.Classify.
+	edge := []float64{
+		bounds.SLo(), bounds.SHi(), bounds.LLo(), bounds.LHi(),
+		math.Inf(1), math.Inf(-1), math.NaN(), 0,
+	}
+	vs = append(vs, edge...)
+
+	for _, shift := range []float64{0, 17.25} {
+		scalar := NewAccum(bounds)
+		for _, v := range vs {
+			scalar.Add(v + shift)
+		}
+		batch := NewAccum(bounds)
+		batch.AddShifted(vs[:1], shift)
+		batch.AddShifted(vs[1:4000], shift)
+		batch.AddShifted(nil, shift)
+		batch.AddShifted(vs[4000:], shift)
+		if scalar.Seen != batch.Seen {
+			t.Fatalf("shift=%v: seen %d vs %d", shift, scalar.Seen, batch.Seen)
+		}
+		if scalar.S != batch.S || scalar.L != batch.L {
+			t.Fatalf("shift=%v: sums diverged\nscalar S=%+v L=%+v\nbatch  S=%+v L=%+v",
+				shift, scalar.S, scalar.L, batch.S, batch.L)
+		}
+	}
+}
+

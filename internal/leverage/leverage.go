@@ -131,6 +131,44 @@ func (a *Accum) Add(v float64) {
 	}
 }
 
+// AddShifted classifies every element of vs, translated by shift, and
+// updates paramS/paramL — the chunk form of Add(v+shift) that the batched
+// sampling path feeds. Boundaries and power sums are hoisted into locals
+// for the whole chunk; the per-value arithmetic (including the v+shift
+// translation) and region tests match Add exactly, so the resulting sums
+// are bit-identical to a scalar loop over the same values.
+func (a *Accum) AddShifted(vs []float64, shift float64) {
+	b := a.Bounds
+	lo2 := b.Center - b.P2*b.Sigma
+	lo1 := b.Center - b.P1*b.Sigma
+	hi1 := b.Center + b.P1*b.Sigma
+	hi2 := b.Center + b.P2*b.Sigma
+	s, l := a.S, a.L
+	for _, v := range vs {
+		v += shift
+		// The same comparison ladder as Boundaries.Classify; TS, N and TL
+		// values are discarded on the spot (Algorithm 1).
+		switch {
+		case v <= lo2: // TooSmall
+		case v < lo1: // Small
+			s.Count++
+			s.Sum += v
+			v2 := v * v
+			s.Sum2 += v2
+			s.Sum3 += v2 * v
+		case v <= hi1: // Normal
+		case v < hi2: // Large
+			l.Count++
+			l.Sum += v
+			v2 := v * v
+			l.Sum2 += v2
+			l.Sum3 += v2 * v
+		}
+	}
+	a.S, a.L = s, l
+	a.Seen += int64(len(vs))
+}
+
 // Merge folds another accumulator with identical boundaries into the
 // receiver; this powers the online-aggregation extension.
 func (a *Accum) Merge(o *Accum) error {

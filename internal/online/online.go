@@ -130,9 +130,15 @@ func (s *Session) RefineContext(ctx context.Context, fraction float64) (Snapshot
 				}
 				// New samples merge into the SAME accumulator — the online
 				// mode's whole point: paramS/paramL carry all prior rounds.
+				// Drawn over the batched path: same RNG stream and fold
+				// order as the scalar per-value callback.
 				shift := s.plan.Shift
 				r := stats.NewRNG(seeds[i])
-				if err := b.Sample(r, m, func(v float64) { acc.Add(v + shift) }); err != nil {
+				err := block.SampleChunks(b, r, m, func(vs []float64) error {
+					acc.AddShifted(vs, shift)
+					return nil
+				})
+				if err != nil {
 					return core.BlockResult{}, fmt.Errorf("online: block %d: %w", b.ID(), err)
 				}
 				s.drawn[i] += m

@@ -101,12 +101,17 @@ func (rv *Reservoir) Seen() int64 { return rv.seen }
 
 // Stratified draws round(m · len(stratum)/total) values uniformly with
 // replacement from each stratum — the STS baseline of the paper's
-// experiments, with blocks as strata. The last stratum absorbs rounding so
-// exactly m values are returned.
+// experiments, with blocks as strata. The last non-empty stratum absorbs
+// rounding slack so exactly m values are returned even when trailing
+// strata are empty.
 func Stratified(r *stats.RNG, strata [][]float64, m int) ([]float64, error) {
 	total := 0
-	for _, s := range strata {
+	last := -1
+	for i, s := range strata {
 		total += len(s)
+		if len(s) > 0 {
+			last = i
+		}
 	}
 	if total == 0 {
 		return nil, ErrEmptyPopulation
@@ -114,8 +119,11 @@ func Stratified(r *stats.RNG, strata [][]float64, m int) ([]float64, error) {
 	out := make([]float64, 0, m)
 	remaining := m
 	for i, s := range strata {
+		if len(s) == 0 {
+			continue
+		}
 		var quota int
-		if i == len(strata)-1 {
+		if i == last {
 			quota = remaining
 		} else {
 			quota = m * len(s) / total
@@ -124,12 +132,6 @@ func Stratified(r *stats.RNG, strata [][]float64, m int) ([]float64, error) {
 			}
 		}
 		remaining -= quota
-		if quota == 0 {
-			continue
-		}
-		if len(s) == 0 {
-			return nil, fmt.Errorf("sample: stratum %d empty but has quota %d", i, quota)
-		}
 		for j := 0; j < quota; j++ {
 			out = append(out, s[r.Intn(len(s))])
 		}

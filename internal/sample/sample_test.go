@@ -164,12 +164,13 @@ func TestStratifiedErrors(t *testing.T) {
 	if _, err := Stratified(r, [][]float64{{}, {}}, 10); !errors.Is(err, ErrEmptyPopulation) {
 		t.Fatalf("err = %v", err)
 	}
-	// Empty final stratum that inherits a rounding remainder must error,
-	// not panic: quotas floor to 1+1, leaving 1 for the empty stratum.
-	if _, err := Stratified(r, [][]float64{{1}, {2}, {}}, 3); err == nil {
-		t.Fatal("empty stratum with quota accepted")
+	// An empty final stratum that would inherit the rounding remainder must
+	// not error: the slack lands on the last non-empty stratum instead, so
+	// exactly m values come back.
+	if got, err := Stratified(r, [][]float64{{1}, {2}, {}}, 3); err != nil || len(got) != 3 {
+		t.Fatalf("trailing empty stratum: got %d, err %v", len(got), err)
 	}
-	// Whereas an empty final stratum with zero remainder is fine.
+	// An empty final stratum with zero remainder is fine too.
 	if got, err := Stratified(r, [][]float64{{1, 2, 3}, {}}, 9); err != nil || len(got) != 9 {
 		t.Fatalf("got %d, err %v", len(got), err)
 	}

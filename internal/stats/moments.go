@@ -42,12 +42,37 @@ func (m *Moments) Add(x float64) {
 	m.m2 += d * (x - m.mean)
 }
 
-// AddAll folds every element of xs into the accumulator.
-func (m *Moments) AddAll(xs []float64) {
-	for _, x := range xs {
-		m.Add(x)
+// AddSlice folds every element of xs into the accumulator — the chunk form
+// of Add used by the batched sampling path. The accumulator state is kept in
+// locals for the whole slice so the loop compiles without per-element field
+// loads; the arithmetic and its order are exactly Add's, so the result is
+// bit-identical to calling Add once per element.
+func (m *Moments) AddSlice(xs []float64) {
+	if len(xs) == 0 {
+		return
 	}
+	n, mean, m2, mn, mx := m.n, m.mean, m.m2, m.min, m.max
+	for _, x := range xs {
+		if n == 0 {
+			mn, mx = x, x
+		} else {
+			if x < mn {
+				mn = x
+			}
+			if x > mx {
+				mx = x
+			}
+		}
+		n++
+		d := x - mean
+		mean += d / float64(n)
+		m2 += d * (x - mean)
+	}
+	m.n, m.mean, m.m2, m.min, m.max = n, mean, m2, mn, mx
 }
+
+// AddAll folds every element of xs into the accumulator.
+func (m *Moments) AddAll(xs []float64) { m.AddSlice(xs) }
 
 // Merge folds another accumulator into the receiver (Chan et al. parallel
 // variance combination).
@@ -123,6 +148,21 @@ func (p *PowerSums) Add(x float64) {
 	x2 := x * x
 	p.Sum2 += x2
 	p.Sum3 += x2 * x
+}
+
+// AddSlice folds every element of xs into the sums — the chunk form of Add.
+// Sums accumulate in locals across the slice; operations and their order
+// match Add exactly, so results are bit-identical to a scalar loop.
+func (p *PowerSums) AddSlice(xs []float64) {
+	count, sum, sum2, sum3 := p.Count, p.Sum, p.Sum2, p.Sum3
+	for _, x := range xs {
+		count++
+		sum += x
+		x2 := x * x
+		sum2 += x2
+		sum3 += x2 * x
+	}
+	p.Count, p.Sum, p.Sum2, p.Sum3 = count, sum, sum2, sum3
 }
 
 // Merge folds another accumulator into the receiver. This is what makes the

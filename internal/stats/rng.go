@@ -80,6 +80,38 @@ func (r *RNG) Int63n(n int64) int64 {
 	return int64(r.Uint64n(uint64(n)))
 }
 
+// FillInt63n fills dst with uniform values in [0, n) — the bulk form of
+// Int63n behind the batched sampling fast path. It draws from the same
+// stream as len(dst) sequential Int63n calls, so scalar and batched
+// consumers are interchangeable without changing results; the win is that
+// the generator state lives in registers for the whole batch instead of
+// round-tripping through the heap once per draw. It panics if n <= 0.
+func (r *RNG) FillInt63n(dst []int64, n int64) {
+	if n <= 0 {
+		panic("stats: FillInt63n with non-positive n")
+	}
+	s0, s1 := r.s0, r.s1
+	un := uint64(n)
+	thresh := -un % un // (2^64 - n) mod n, the Lemire rejection threshold
+	for i := range dst {
+		for {
+			x, y := s0, s1
+			s0 = y
+			x ^= x << 23
+			x ^= x >> 17
+			x ^= y ^ (y >> 26)
+			s1 = x
+			v := x + y
+			hi, lo := mul64(v, un)
+			if lo >= un || lo >= thresh {
+				dst[i] = int64(hi)
+				break
+			}
+		}
+	}
+	r.s0, r.s1 = s0, s1
+}
+
 // Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
 // rejection method, which avoids modulo bias.
 func (r *RNG) Uint64n(n uint64) uint64 {

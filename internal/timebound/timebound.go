@@ -60,6 +60,14 @@ type Options struct {
 	// is advisory" behavior). The first block always completes so a
 	// best-effort answer exists.
 	CutoffFactor float64
+	// FixedSamples, when positive, replaces the timed calibration burst:
+	// exactly FixedSamples calibration samples are drawn, the affordable
+	// sample size is FixedSamples as well, and the hard wall-clock cutoff
+	// is disabled, making the whole run deterministic for a given
+	// Config.Seed (no wall-clock feedback into the sampling plan or the
+	// block coverage). Intended for reproducible benchmarks and the
+	// scalar/batch equivalence tests.
+	FixedSamples int64
 }
 
 func (o Options) normalize() Options {
@@ -96,17 +104,27 @@ func EstimateContext(ctx context.Context, s *block.Store, cfg core.Config, budge
 	}
 	start := time.Now()
 
-	// Calibration burst: draw samples for a slice of the budget and count.
+	// Calibration burst: draw batched sample bursts for a slice of the
+	// budget and count. With FixedSamples the burst size — and therefore
+	// the downstream sampling plan — is independent of wall-clock timing.
 	calBudget := time.Duration(float64(budget) * opts.CalibrationFraction)
 	r := stats.NewRNG(cfg.Seed)
 	var calMoments stats.Moments
 	var calSamples int64
-	const chunk = 1024
-	for time.Since(start) < calBudget {
-		if err := s.PilotSample(r, chunk, calMoments.Add); err != nil {
+	fold := block.MomentsSink(&calMoments)
+	const burst = 1024
+	if opts.FixedSamples > 0 {
+		if err := s.PilotSampleChunks(r, opts.FixedSamples, fold); err != nil {
 			return Result{}, fmt.Errorf("timebound: calibration: %w", err)
 		}
-		calSamples += chunk
+		calSamples = opts.FixedSamples
+	} else {
+		for time.Since(start) < calBudget {
+			if err := s.PilotSampleChunks(r, burst, fold); err != nil {
+				return Result{}, fmt.Errorf("timebound: calibration: %w", err)
+			}
+			calSamples += burst
+		}
 	}
 	calElapsed := time.Since(start)
 	if calSamples == 0 || calElapsed <= 0 {
@@ -114,11 +132,15 @@ func EstimateContext(ctx context.Context, s *block.Store, cfg core.Config, budge
 	}
 	throughput := float64(calSamples) / calElapsed.Seconds()
 
-	// Affordable sample size for the remaining budget.
-	remaining := budget - calElapsed
-	afford := int64(throughput * opts.Headroom * remaining.Seconds())
-	if afford < opts.MinSamples {
-		afford = opts.MinSamples
+	// Affordable sample size for the remaining budget (pinned under
+	// FixedSamples so the derived precision is reproducible).
+	afford := opts.FixedSamples
+	if afford <= 0 {
+		remaining := budget - calElapsed
+		afford = int64(throughput * opts.Headroom * remaining.Seconds())
+		if afford < opts.MinSamples {
+			afford = opts.MinSamples
+		}
 	}
 	if afford > s.TotalLen() {
 		afford = s.TotalLen()
@@ -161,7 +183,10 @@ func EstimateContext(ctx context.Context, s *block.Store, cfg core.Config, budge
 
 	// The standard pipeline, on the shared runtime, behind a budget sink.
 	// The same RNG discipline as core.Estimate, so an untruncated run is
-	// bit-identical to core.Estimate at the derived precision.
+	// bit-identical to core.Estimate at the derived precision. Under
+	// FixedSamples the cutoff sink is dropped too — otherwise a slow
+	// machine could truncate what the option promises is a deterministic
+	// function of the seed.
 	rr := stats.NewRNG(cfg.Seed)
 	plan, err := core.PlanIID(s, cfg, rr)
 	if err != nil {
@@ -169,7 +194,11 @@ func EstimateContext(ctx context.Context, s *block.Store, cfg core.Config, budge
 	}
 	blocks := s.Blocks()
 	seeds := exec.Seeds(rr, len(blocks))
-	cutoff := start.Add(time.Duration(float64(budget) * opts.CutoffFactor))
+	var sinks []exec.Sink[core.BlockResult]
+	if opts.FixedSamples <= 0 {
+		cutoff := start.Add(time.Duration(float64(budget) * opts.CutoffFactor))
+		sinks = append(sinks, exec.Budget[core.BlockResult](cutoff, 1))
+	}
 	perBlock, err := exec.Run(ctx, exec.Pool(cfg.Workers), len(blocks),
 		func(_ context.Context, i int) (core.BlockResult, error) {
 			br, err := plan.RunBlock(blocks[i], stats.NewRNG(seeds[i]))
@@ -177,7 +206,7 @@ func EstimateContext(ctx context.Context, s *block.Store, cfg core.Config, budge
 				return core.BlockResult{}, fmt.Errorf("timebound: block %d: %w", blocks[i].ID(), err)
 			}
 			return br, nil
-		}, exec.Budget[core.BlockResult](cutoff, 1))
+		}, sinks...)
 	truncated := false
 	if errors.Is(err, exec.ErrBudgetExceeded) && len(perBlock) > 0 {
 		truncated = true

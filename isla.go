@@ -100,12 +100,16 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // Partition splits data into b contiguous, near-equal in-memory blocks.
 func Partition(data []float64, b int) *Store { return block.Partition(data, b) }
 
-// OpenFiles opens previously written binary block files as a store.
+// OpenFiles opens previously written binary block files as a store. The
+// file handles stay open for the store's lifetime (sampling and scans use
+// positioned reads on them); call (*Store).Close to release them.
 func OpenFiles(paths ...string) (*Store, error) {
 	blocks := make([]block.Block, 0, len(paths))
 	for i, p := range paths {
 		fb, err := block.OpenFile(i, p)
 		if err != nil {
+			// Release the handles already opened before reporting.
+			block.NewStore(blocks...).Close()
 			return nil, err
 		}
 		blocks = append(blocks, fb)
