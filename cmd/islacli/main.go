@@ -16,7 +16,6 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"strconv"
 	"strings"
 
 	"isla"
@@ -113,51 +112,10 @@ func run(db *isla.DB, sql string) error {
 	return nil
 }
 
-// registerGen parses "name=dist:key=val,..." and registers the table.
+// registerGen materializes a "name=dist:key=val,..." spec (the syntax
+// shared with islaserv -gen) and registers the table.
 func registerGen(db *isla.DB, spec string) error {
-	name, rest, ok := strings.Cut(spec, "=")
-	if !ok {
-		return fmt.Errorf("islacli: bad -gen %q (want name=dist:params)", spec)
-	}
-	dist, params, _ := strings.Cut(rest, ":")
-	kv := map[string]float64{"mu": 100, "sigma": 20, "gamma": 0.1, "lo": 1, "hi": 199,
-		"n": 1_000_000, "blocks": 10, "seed": 1}
-	if params != "" {
-		for _, p := range strings.Split(params, ",") {
-			k, v, ok := strings.Cut(p, "=")
-			if !ok {
-				return fmt.Errorf("islacli: bad param %q in %q", p, spec)
-			}
-			f, err := strconv.ParseFloat(v, 64)
-			if err != nil {
-				return fmt.Errorf("islacli: bad value %q in %q", v, spec)
-			}
-			kv[strings.TrimSpace(k)] = f
-		}
-	}
-	n, blocks, seed := int(kv["n"]), int(kv["blocks"]), uint64(kv["seed"])
-	var (
-		store *isla.Store
-		err   error
-	)
-	switch strings.ToLower(dist) {
-	case "normal", "":
-		store, _, err = workload.Normal(kv["mu"], kv["sigma"], n, blocks, seed)
-	case "exp", "exponential":
-		store, _, err = workload.Exponential(kv["gamma"], n, blocks, seed)
-	case "uniform":
-		store, _, err = workload.UniformRange(kv["lo"], kv["hi"], n, blocks, seed)
-	case "salary":
-		store, _, err = workload.Salary(n, blocks, seed)
-	case "tlc":
-		store, _, err = workload.TLCTrips(n, blocks, seed)
-	case "tpch":
-		store, _, err = workload.TPCHLineitem(n, blocks, seed)
-	case "noniid":
-		store, _, err = workload.PaperNonIID(n/5, seed)
-	default:
-		return fmt.Errorf("islacli: unknown distribution %q", dist)
-	}
+	name, store, err := workload.FromSpec(spec)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,165 @@
+// Command islaserv serves ISLA approximate aggregation over HTTP/JSON.
+//
+// Tables come from the same sources as islacli — synthetic generators,
+// text or CSV files — and queries arrive as POST /query bodies:
+//
+//	islaserv -gen "sales=normal:mu=100,sigma=20,n=1000000,blocks=10" -addr :8080
+//	curl -s localhost:8080/query -d '{"sql":"SELECT AVG(v) FROM sales WITH PRECISION 0.1"}'
+//
+// Endpoints: POST /query, GET /tables, GET /healthz, GET /stats. The
+// pilot-plan cache is on by default (-cache 0 or less disables it), so repeat
+// queries on a table skip the pre-estimation pilot; an admission-control
+// semaphore (-inflight) bounds concurrently executing queries and rejects
+// the excess with 503. SIGINT/SIGTERM drain in-flight requests before
+// exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"isla/internal/engine"
+	"isla/internal/ingest"
+	"isla/internal/serve"
+	"isla/internal/workload"
+)
+
+func main() {
+	var gens, texts, csvs multiFlag
+	flag.Var(&gens, "gen", "synthetic table spec name=dist:key=val,... (repeatable)")
+	flag.Var(&texts, "txt", "load one-value-per-line text name=path (repeatable)")
+	flag.Var(&csvs, "csv", "load CSV column name=path:column (repeatable)")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		blocks   = flag.Int("blocks", 10, "block count for -txt/-csv tables")
+		workers  = flag.Int("workers", -1, "exec-runtime concurrency per query: 0 sequential, -1 one worker per CPU, n as-is")
+		cache    = flag.Int("cache", 128, "pilot-plan cache capacity; <= 0 disables the cache")
+		timeout  = flag.Duration("timeout", 30*time.Second, "default per-query execution timeout (requests may override via timeout_ms)")
+		maxTime  = flag.Duration("max-timeout", 5*time.Minute, "upper bound on any per-query timeout")
+		inflight = flag.Int("inflight", 64, "admission control: max concurrently executing queries; excess requests get 503 (-1 disables)")
+		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace period for draining in-flight requests")
+	)
+	flag.Parse()
+
+	catalog := engine.NewCatalog()
+	if err := loadTables(catalog, gens, texts, csvs, *blocks); err != nil {
+		fatal(err)
+	}
+	if len(catalog.Names()) == 0 {
+		fmt.Fprintln(os.Stderr, "islaserv: no tables; use -gen, -txt or -csv, e.g.\n"+
+			`  islaserv -gen "sales=normal:mu=100,sigma=20,n=1000000,blocks=10"`)
+		os.Exit(2)
+	}
+
+	eng := engine.New(catalog)
+	eng.SetWorkers(*workers)
+	if *cache > 0 {
+		eng.EnablePlanCache(*cache)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Engine:         eng,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTime,
+		MaxInFlight:    *inflight,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("islaserv: serving %s on %s (cache=%d, inflight=%d)",
+		strings.Join(catalog.Names(), ", "), *addr, *cache, *inflight)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("islaserv: shutting down, draining for up to %v", *grace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("islaserv: shutdown: %v", err)
+	}
+}
+
+// loadTables registers every table spec into the catalog.
+func loadTables(catalog *engine.Catalog, gens, texts, csvs []string, blocks int) error {
+	for _, g := range gens {
+		if err := registerGen(catalog, g); err != nil {
+			return err
+		}
+	}
+	for _, tl := range texts {
+		name, path, ok := strings.Cut(tl, "=")
+		if !ok {
+			return fmt.Errorf("islaserv: bad -txt %q (want name=path)", tl)
+		}
+		s, _, err := ingest.LoadText(path, ingest.Options{Blocks: blocks, SkipInvalid: true})
+		if err != nil {
+			return err
+		}
+		catalog.Register(name, s)
+	}
+	for _, cl := range csvs {
+		name, rest, ok := strings.Cut(cl, "=")
+		if !ok {
+			return fmt.Errorf("islaserv: bad -csv %q (want name=path:column)", cl)
+		}
+		path, column, ok := strings.Cut(rest, ":")
+		if !ok {
+			return fmt.Errorf("islaserv: bad -csv %q (want name=path:column)", cl)
+		}
+		s, _, err := ingest.LoadCSV(path, column, 0, ingest.Options{Blocks: blocks, SkipInvalid: true})
+		if err != nil {
+			return err
+		}
+		catalog.Register(name, s)
+	}
+	return nil
+}
+
+// registerGen materializes a "name=dist:key=val,..." spec (the syntax
+// shared with islacli -gen) and registers the table.
+func registerGen(catalog *engine.Catalog, spec string) error {
+	name, store, err := workload.FromSpec(spec)
+	if err != nil {
+		return err
+	}
+	catalog.Register(name, store)
+	return nil
+}
+
+func fatal(err error) {
+	if errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "islaserv: %v\n", err)
+	os.Exit(1)
+}
+
+// multiFlag collects repeatable string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ";") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }

@@ -1,0 +1,169 @@
+package isla
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestReconfigureDuringQueries is the regression test for the
+// SetWorkers/SetBaseConfig data race: both used to write engine state that
+// Query reads unsynchronized, so this test fails under -race on the old
+// code. The engine now swaps the base config atomically behind a
+// copy-on-read accessor.
+func TestReconfigureDuringQueries(t *testing.T) {
+	db := NewDB()
+	db.RegisterSlice("t", normalData(50000, 1), 5)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			db.SetWorkers(i % 4)
+			cfg := DefaultConfig()
+			cfg.Seed = uint64(i)
+			cfg.SampleFraction = 1 - float64(i%3)/10
+			db.SetBaseConfig(cfg)
+		}
+	}()
+	for i := 0; i < 25; i++ {
+		if _, err := db.Query("SELECT AVG(v) FROM t WITH PRECISION 1 SEED 5"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestStressConcurrentQueries hammers a shared DB with 64 goroutines of
+// mixed AVG/SUM/COUNT/EXACT queries while one goroutine keeps
+// re-registering a table with identical data. Every answer must be
+// bit-identical to a sequential run of the same statement (same seed ⇒
+// same answer, with or without cache, mid-registration or not), and after
+// the data actually changes, answers must match a fresh engine exactly —
+// no cache-coherence violation across Register.
+func TestStressConcurrentQueries(t *testing.T) {
+	dataA := normalData(100000, 1)
+	dataB := normalData(100000, 2)
+
+	var queries []string
+	for seed := 1; seed <= 4; seed++ {
+		queries = append(queries,
+			fmt.Sprintf("SELECT AVG(v) FROM a WITH PRECISION 0.5 SEED %d", seed),
+			fmt.Sprintf("SELECT SUM(v) FROM a WITH PRECISION 0.5 SEED %d", seed),
+			fmt.Sprintf("SELECT AVG(v) FROM b WITH PRECISION 0.8 SEED %d", seed),
+		)
+	}
+	queries = append(queries,
+		"SELECT COUNT(*) FROM a",
+		"SELECT AVG(v) FROM b METHOD EXACT",
+	)
+
+	for _, cached := range []bool{false, true} {
+		name := "cold-pilots"
+		if cached {
+			name = "plan-cache"
+		}
+		t.Run(name, func(t *testing.T) {
+			newDB := func() *DB {
+				db := NewDB()
+				db.RegisterSlice("a", dataA, 8)
+				db.RegisterSlice("b", dataB, 8)
+				if cached {
+					db.EnablePlanCache(64)
+				}
+				return db
+			}
+
+			// Golden answers from a sequential run on an identical DB.
+			seq := newDB()
+			want := make(map[string]float64, len(queries))
+			for _, q := range queries {
+				r, err := seq.Query(q)
+				if err != nil {
+					t.Fatalf("sequential %q: %v", q, err)
+				}
+				want[q] = r.Value
+			}
+
+			db := newDB()
+			db.SetWorkers(2) // concurrency inside each query too
+
+			stop := make(chan struct{})
+			var reg sync.WaitGroup
+			reg.Add(1)
+			go func() {
+				defer reg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					// Same data: the generation bumps but every answer
+					// stays bit-identical.
+					db.RegisterSlice("a", dataA, 8)
+					time.Sleep(time.Millisecond)
+				}
+			}()
+
+			var wg sync.WaitGroup
+			for g := 0; g < 64; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < len(queries); i++ {
+						q := queries[(g+i)%len(queries)]
+						r, err := db.Query(q)
+						if err != nil {
+							t.Errorf("goroutine %d %q: %v", g, q, err)
+							return
+						}
+						if r.Value != want[q] {
+							t.Errorf("goroutine %d %q: got %v, sequential run got %v",
+								g, q, r.Value, want[q])
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(stop)
+			reg.Wait()
+
+			// Now actually change the data: answers must match a fresh
+			// engine over the new store, bit for bit.
+			dataC := normalData(100000, 3)
+			db.RegisterSlice("a", dataC, 8)
+			freshDB := NewDB()
+			freshDB.RegisterSlice("a", dataC, 8)
+			if cached {
+				freshDB.EnablePlanCache(64)
+			}
+			const probe = "SELECT AVG(v) FROM a WITH PRECISION 0.5 SEED 1"
+			got, err := db.Query(probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := freshDB.Query(probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Value != fresh.Value || got.Samples != fresh.Samples {
+				t.Fatalf("after re-register: %v/%d, fresh engine %v/%d",
+					got.Value, got.Samples, fresh.Value, fresh.Samples)
+			}
+			if got.Value == want[probe] {
+				t.Fatal("answer did not change with the data — stale store served")
+			}
+		})
+	}
+}

@@ -32,6 +32,9 @@ type ModesReport struct {
 	// Sampling is the scalar-vs-batched hot-path microbenchmark
 	// (ns/sample per storage layout); see Sampling.
 	Sampling []SamplingStat `json:"sampling"`
+	// PlanCache is the cold-vs-warm pilot-plan cache comparison; see
+	// PlanCache.
+	PlanCache []PlanCacheStat `json:"plan_cache"`
 }
 
 // Modes runs all five execution modes — batch, parallel, online,
@@ -111,6 +114,10 @@ func Modes(o Options) (*ModesReport, error) {
 	record("cluster", start, clu.TotalSamples, clu.Estimate)
 
 	rep.Sampling, err = Sampling(o)
+	if err != nil {
+		return nil, err
+	}
+	rep.PlanCache, err = PlanCache(o)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"isla/internal/engine"
+	"isla/internal/workload"
+)
+
+// PlanCacheStat is one cold-vs-warm measurement of the pilot-plan cache:
+// the same statement executed on a cache-enabled engine first with an
+// empty cache (the pilot runs) and then repeatedly against the cached
+// pilot. Warm runs must report pilot_cached and return the identical
+// estimate; the wall-time delta is the pilot phase the cache saves.
+type PlanCacheStat struct {
+	Phase        string  `json:"phase"` // "cold" or "warm"
+	WallMS       float64 `json:"wall_ms"`
+	TotalSamples int64   `json:"total_samples"`
+	PilotSamples int64   `json:"pilot_samples"`
+	Estimate     float64 `json:"estimate"`
+	PilotCached  bool    `json:"pilot_cached"`
+}
+
+// PlanCache measures the pilot-plan cache on one synthetic normal
+// workload: one cold query, then o.Runs warm repeats (best wall time
+// reported, standard benchmarking practice for a cached path).
+func PlanCache(o Options) ([]PlanCacheStat, error) {
+	o = o.Defaults()
+	s, _, err := workload.Normal(100, 20, o.N, o.Blocks, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cat := engine.NewCatalog()
+	cat.Register("t", s)
+	e := engine.New(cat)
+	e.EnablePlanCache(0)
+	sql := fmt.Sprintf("SELECT AVG(v) FROM t WITH PRECISION 0.5 SEED %d", o.Seed+7000)
+
+	stat := func(phase string, res engine.Result, wall time.Duration) PlanCacheStat {
+		ps := PlanCacheStat{
+			Phase:        phase,
+			WallMS:       float64(wall.Microseconds()) / 1000,
+			TotalSamples: res.Samples,
+			Estimate:     res.Value,
+		}
+		if res.Detail != nil {
+			ps.PilotCached = res.Detail.PilotCached
+			ps.PilotSamples = res.Detail.Pilot.PilotSize
+		}
+		return ps
+	}
+
+	start := time.Now()
+	cold, err := e.ExecuteSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	out := []PlanCacheStat{stat("cold", cold, time.Since(start))}
+
+	var warm engine.Result
+	best := time.Duration(-1)
+	for i := 0; i < o.Runs; i++ {
+		start = time.Now()
+		warm, err = e.ExecuteSQL(sql)
+		if err != nil {
+			return nil, err
+		}
+		if wall := time.Since(start); best < 0 || wall < best {
+			best = wall
+		}
+	}
+	if warm.Value != cold.Value {
+		return nil, fmt.Errorf("bench: warm estimate %v differs from cold %v", warm.Value, cold.Value)
+	}
+	if warm.Detail == nil || !warm.Detail.PilotCached {
+		return nil, fmt.Errorf("bench: warm run did not hit the plan cache")
+	}
+	out = append(out, stat("warm", warm, best))
+	return out, nil
+}

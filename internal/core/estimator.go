@@ -39,6 +39,9 @@ type Result struct {
 	// (zero for all-positive data): values were aggregated as v+Shift and
 	// the answer translated back (§IV-A footnote).
 	Shift float64
+	// PilotCached reports that the pre-estimation phase was served from a
+	// plan cache instead of being run: the run drew zero pilot samples.
+	PilotCached bool
 }
 
 // Estimator runs ISLA AVG aggregation over block stores.
@@ -103,33 +106,7 @@ func (e *Estimator) runNonIID(ctx context.Context, s *block.Store) (Result, erro
 	if err != nil {
 		return Result{}, err
 	}
-	// Seeds are consumed for planned blocks only, in block order — the same
-	// stream a sequential loop over the non-empty blocks would draw.
-	seeds := make([]uint64, len(plans))
-	var shift float64
-	for i, p := range plans {
-		if p != nil {
-			seeds[i] = r.Uint64()
-			shift = p.Shift
-		}
-	}
-	blocks := s.Blocks()
-	perBlock, err := exec.Run(ctx, exec.Pool(e.cfg.Workers), len(blocks),
-		func(_ context.Context, i int) (BlockResult, error) {
-			b := blocks[i]
-			if plans[i] == nil {
-				return BlockResult{BlockID: b.ID()}, nil
-			}
-			br, err := plans[i].RunBlock(b, stats.NewRNG(seeds[i]))
-			if err != nil {
-				return BlockResult{}, fmt.Errorf("core: block %d: %w", b.ID(), err)
-			}
-			return br, nil
-		})
-	if err != nil {
-		return Result{}, err
-	}
-	return SummarizeBlocks(e.cfg, overall, shift, perBlock, s.TotalLen()), nil
+	return runPlans(ctx, s, e.cfg, plans, overall, r)
 }
 
 // Estimate is a convenience wrapper: build an estimator from cfg and run it

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"isla/internal/block"
+	"isla/internal/exec"
+	"isla/internal/stats"
+)
+
+// FrozenPilot is a table's pre-estimation state frozen for reuse across
+// queries: the per-block pilot statistics, the pooled pilot, and the RNG
+// state left after the pilot consumed its draws. The per-block pilot of
+// PreEstimatePerBlock samples an amount that depends only on block sizes —
+// never on the precision target — so one frozen pilot serves any
+// precision/confidence combination on the same table and seed; only the
+// O(1)-per-block statistics are retained (§VII).
+type FrozenPilot struct {
+	Pilots []BlockPilot
+	// Base carries the pooled statistics (σ, sketch0, min/max, pilot
+	// size). Its precision-dependent fields (SampleRate, SampleSize,
+	// RelaxedE) reflect whichever query froze the pilot; RederivePilot
+	// recomputes them per query.
+	Base Pilot
+	// RNG is the generator state after the pilot's draws: resuming it
+	// yields the exact stream a cold run would use for per-block seed
+	// derivation.
+	RNG stats.RNGState
+}
+
+// FreezePilot runs the per-block pre-estimation from cfg.Seed and captures
+// the post-pilot generator state for later EstimateFrozen calls.
+func FreezePilot(s *block.Store, cfg Config) (FrozenPilot, error) {
+	r := stats.NewRNG(cfg.Seed)
+	pilots, overall, err := PreEstimatePerBlock(s, cfg, r)
+	if err != nil {
+		return FrozenPilot{}, err
+	}
+	return FrozenPilot{Pilots: pilots, Base: overall, RNG: r.State()}, nil
+}
+
+// EstimateFrozen runs the calculation phase from a frozen pre-estimation:
+// the sampling plan is re-derived for cfg's precision target, per-block
+// seeds are drawn from the frozen RNG state, and the blocks execute on the
+// exec runtime. For the seed that froze the pilot the answer is
+// bit-identical to a cold per-block run (EstimateContext with
+// PerBlockBounds set) — the pilot phase is simply skipped.
+func EstimateFrozen(ctx context.Context, s *block.Store, cfg Config, fp FrozenPilot) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(fp.Pilots) != s.NumBlocks() {
+		return Result{}, fmt.Errorf("core: frozen pilot covers %d blocks, store has %d — frozen from a different store?",
+			len(fp.Pilots), s.NumBlocks())
+	}
+	overall, err := RederivePilot(fp.Base, cfg, s.TotalLen())
+	if err != nil {
+		return Result{}, err
+	}
+	plans, err := PlansFromPilots(fp.Pilots, overall, cfg, s.TotalLen())
+	if err != nil {
+		return Result{}, err
+	}
+	return runPlans(ctx, s, cfg, plans, overall, fp.RNG.RNG())
+}
+
+// runPlans executes per-block plans on the exec runtime and summarizes —
+// the calculation half shared by the non-i.i.d. pipeline and the frozen
+// (plan-cache) path.
+func runPlans(ctx context.Context, s *block.Store, cfg Config, plans []*Plan, overall Pilot, r *stats.RNG) (Result, error) {
+	// Seeds are consumed for planned blocks only, in block order — the same
+	// stream a sequential loop over the non-empty blocks would draw.
+	seeds := make([]uint64, len(plans))
+	var shift float64
+	for i, p := range plans {
+		if p != nil {
+			seeds[i] = r.Uint64()
+			shift = p.Shift
+		}
+	}
+	blocks := s.Blocks()
+	perBlock, err := exec.Run(ctx, exec.Pool(cfg.Workers), len(blocks),
+		func(_ context.Context, i int) (BlockResult, error) {
+			b := blocks[i]
+			if plans[i] == nil {
+				return BlockResult{BlockID: b.ID()}, nil
+			}
+			br, err := plans[i].RunBlock(b, stats.NewRNG(seeds[i]))
+			if err != nil {
+				return BlockResult{}, fmt.Errorf("core: block %d: %w", b.ID(), err)
+			}
+			return br, nil
+		})
+	if err != nil {
+		return Result{}, err
+	}
+	return SummarizeBlocks(cfg, overall, shift, perBlock, s.TotalLen()), nil
+}

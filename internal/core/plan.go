@@ -52,6 +52,19 @@ func PlanNonIID(s *block.Store, cfg Config, r *stats.RNG) ([]*Plan, Pilot, error
 	if err != nil {
 		return nil, Pilot{}, err
 	}
+	plans, err := PlansFromPilots(pilots, overall, cfg, s.TotalLen())
+	if err != nil {
+		return nil, Pilot{}, err
+	}
+	return plans, overall, nil
+}
+
+// PlansFromPilots freezes per-block pilot statistics into executable plans
+// — the pure second half of PlanNonIID. It consumes no randomness, so it
+// can re-derive plans from a cached pre-estimation at any per-query
+// precision target. overall must already carry the sampling rate for cfg
+// (see RederivePilot).
+func PlansFromPilots(pilots []BlockPilot, overall Pilot, cfg Config, totalLen int64) ([]*Plan, error) {
 	shift := 0.0
 	if overall.Min <= 0 {
 		shift = -overall.Min + overall.Sigma + 1
@@ -61,7 +74,7 @@ func PlanNonIID(s *block.Store, cfg Config, r *stats.RNG) ([]*Plan, Pilot, error
 		rates[i] = overall.SampleRate
 	}
 	if cfg.VarianceAwareRates {
-		rates = BlockRates(pilots, overall.SampleRate, s.TotalLen(), cfg.MaxSampleRate)
+		rates = BlockRates(pilots, overall.SampleRate, totalLen, cfg.MaxSampleRate)
 	}
 	plans := make([]*Plan, len(pilots))
 	for i := range pilots {
@@ -70,7 +83,7 @@ func PlanNonIID(s *block.Store, cfg Config, r *stats.RNG) ([]*Plan, Pilot, error
 		}
 		bounds, err := leverage.NewBoundaries(pilots[i].Sketch0+shift, pilots[i].Sigma, cfg.P1, cfg.P2)
 		if err != nil {
-			return nil, Pilot{}, err
+			return nil, err
 		}
 		plans[i] = &Plan{
 			Cfg:   cfg,
@@ -85,7 +98,7 @@ func PlanNonIID(s *block.Store, cfg Config, r *stats.RNG) ([]*Plan, Pilot, error
 			Opts:   cfg.modOptions(pilots[i].Sigma, overall.RelaxedE),
 		}
 	}
-	return plans, overall, nil
+	return plans, nil
 }
 
 // SampleBlock runs Algorithm 1 on one block: draws the plan's sample quota

@@ -73,18 +73,9 @@ func PreEstimate(s *block.Store, cfg Config, r *stats.RNG) (Pilot, error) {
 	sigma = pm.SampleStdDev()
 	sketch0 := pm.Mean()
 
-	m, err := stats.RequiredSampleSize(sigma, cfg.Precision, cfg.Confidence)
+	rate, m, err := planSize(sigma, cfg, s.TotalLen())
 	if err != nil {
-		return Pilot{}, fmt.Errorf("core: sample size: %w", err)
-	}
-	m = int64(float64(m) * cfg.SampleFraction)
-	if m < 1 {
-		m = 1
-	}
-	rate := float64(m) / float64(s.TotalLen())
-	if rate > cfg.MaxSampleRate {
-		rate = cfg.MaxSampleRate
-		m = int64(rate * float64(s.TotalLen()))
+		return Pilot{}, err
 	}
 	return Pilot{
 		Sketch0:    sketch0,
@@ -96,6 +87,43 @@ func PreEstimate(s *block.Store, cfg Config, r *stats.RNG) (Pilot, error) {
 		Min:        pm.Min(),
 		Max:        pm.Max(),
 	}, nil
+}
+
+// planSize converts the pilot's σ into the calculation-phase sampling plan:
+// Eq. (1) gives m for the precision target, SampleFraction scales it, and
+// MaxSampleRate caps the resulting rate.
+func planSize(sigma float64, cfg Config, totalLen int64) (rate float64, m int64, err error) {
+	m, err = stats.RequiredSampleSize(sigma, cfg.Precision, cfg.Confidence)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: sample size: %w", err)
+	}
+	m = int64(float64(m) * cfg.SampleFraction)
+	if m < 1 {
+		m = 1
+	}
+	rate = float64(m) / float64(totalLen)
+	if rate > cfg.MaxSampleRate {
+		rate = cfg.MaxSampleRate
+		m = int64(rate * float64(totalLen))
+	}
+	return rate, m, nil
+}
+
+// RederivePilot recomputes the precision-dependent fields of a pilot —
+// SampleRate, SampleSize and RelaxedE — from its frozen statistics (σ,
+// sketch0, min/max) for a new per-query configuration. The pilot sampling
+// of PreEstimatePerBlock consumes the RNG independently of the precision
+// target, so a cached pilot plus RederivePilot reproduces exactly what a
+// cold PreEstimatePerBlock would return for that configuration.
+func RederivePilot(p Pilot, cfg Config, totalLen int64) (Pilot, error) {
+	rate, m, err := planSize(p.Sigma, cfg, totalLen)
+	if err != nil {
+		return Pilot{}, err
+	}
+	p.SampleRate = rate
+	p.SampleSize = m
+	p.RelaxedE = cfg.RelaxFactor * cfg.Precision
+	return p, nil
 }
 
 // BlockPilot carries per-block pilot statistics for the non-i.i.d.
@@ -142,18 +170,9 @@ func PreEstimatePerBlock(s *block.Store, cfg Config, r *stats.RNG) ([]BlockPilot
 		pooled.Merge(m)
 	}
 	sigma := pooled.SampleStdDev()
-	m, err := stats.RequiredSampleSize(sigma, cfg.Precision, cfg.Confidence)
+	rate, m, err := planSize(sigma, cfg, s.TotalLen())
 	if err != nil {
-		return nil, Pilot{}, fmt.Errorf("core: sample size: %w", err)
-	}
-	m = int64(float64(m) * cfg.SampleFraction)
-	if m < 1 {
-		m = 1
-	}
-	rate := float64(m) / float64(s.TotalLen())
-	if rate > cfg.MaxSampleRate {
-		rate = cfg.MaxSampleRate
-		m = int64(rate * float64(s.TotalLen()))
+		return nil, Pilot{}, err
 	}
 	overall := Pilot{
 		Sketch0:    pooled.Mean(),

@@ -11,27 +11,37 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"isla/internal/baseline"
 	"isla/internal/block"
 	"isla/internal/core"
 	"isla/internal/leverage"
+	"isla/internal/plancache"
 	"isla/internal/query"
 	"isla/internal/stats"
 	"isla/internal/timebound"
 )
 
-// Table is one named column of data partitioned into blocks.
+// Table is one named column of data partitioned into blocks. A Table is
+// immutable once returned by Lookup: re-registering a name produces a new
+// Table with a higher generation rather than mutating the old one.
 type Table struct {
 	Name  string
 	Store *block.Store
+	// Gen is the catalog-wide registration counter at the moment this
+	// table version was registered. Caches key derived state (pilot
+	// plans) by it so a replaced store can never serve stale state.
+	Gen uint64
 }
 
 // Catalog maps table names to stores. It is safe for concurrent use.
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	gen    uint64
+	hooks  []func(name string)
 }
 
 // NewCatalog returns an empty catalog.
@@ -39,12 +49,34 @@ func NewCatalog() *Catalog {
 	return &Catalog{tables: make(map[string]*Table)}
 }
 
-// Register adds or replaces a table.
+// Register adds or replaces a table. Every registration bumps the
+// catalog's generation counter, so the returned table version is
+// distinguishable from any earlier one with the same name.
 func (c *Catalog) Register(name string, store *block.Store) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.tables[name] = &Table{Name: name, Store: store}
+	c.gen++
+	c.tables[name] = &Table{Name: name, Store: store, Gen: c.gen}
+	hooks := c.hooks
+	c.mu.Unlock()
+	// Hooks run outside the lock: generation keying already guarantees
+	// coherence, hooks only reclaim derived state promptly.
+	for _, fn := range hooks {
+		fn(name)
+	}
 }
+
+// OnRegister adds a callback invoked (outside the catalog lock) after
+// every Register with the registered name. Used by the plan cache to drop
+// superseded pilots.
+func (c *Catalog) OnRegister(fn func(name string)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hooks = append(c.hooks, fn)
+}
+
+// ErrUnknownTable is wrapped by Lookup failures so front ends can map
+// them (e.g. to HTTP 404) with errors.Is.
+var ErrUnknownTable = errors.New("engine: unknown table")
 
 // Lookup returns the named table.
 func (c *Catalog) Lookup(name string) (*Table, error) {
@@ -52,7 +84,7 @@ func (c *Catalog) Lookup(name string) (*Table, error) {
 	defer c.mu.RUnlock()
 	t, ok := c.tables[name]
 	if !ok {
-		return nil, fmt.Errorf("engine: unknown table %q", name)
+		return nil, fmt.Errorf("%w %q", ErrUnknownTable, name)
 	}
 	return t, nil
 }
@@ -86,16 +118,125 @@ type Result struct {
 
 // Engine executes queries against a catalog with a base ISLA configuration
 // whose per-query knobs (precision, confidence, sample fraction, seed) are
-// overridden from the query itself. Base.Workers sets the exec-runtime
-// concurrency for every estimation the engine runs.
+// overridden from the query itself. The base config's Workers field sets
+// the exec-runtime concurrency for every estimation the engine runs.
+//
+// An Engine is safe for concurrent use: the base configuration is
+// immutable after construction behind a copy-on-read accessor
+// (BaseConfig), per-query overrides land in a derived copy, and
+// SetBaseConfig/SetWorkers swap the whole config atomically — no shared
+// state is written while a query executes.
 type Engine struct {
 	Catalog *Catalog
-	Base    core.Config
+
+	mu   sync.RWMutex
+	base core.Config
+
+	cache     atomic.Pointer[plancache.Cache]
+	hookOnce  sync.Once
+	inFlight  atomic.Int64
+	served    atomic.Int64
+	perTable  sync.Map // table name → *atomic.Int64 query counts
+	statsFrom time.Time
 }
 
 // New returns an engine over catalog with the paper's default config.
 func New(catalog *Catalog) *Engine {
-	return &Engine{Catalog: catalog, Base: core.DefaultConfig()}
+	return &Engine{Catalog: catalog, base: core.DefaultConfig(), statsFrom: time.Now()}
+}
+
+// BaseConfig returns a copy of the engine's base configuration. Mutating
+// the copy does not affect the engine; use SetBaseConfig to replace it.
+func (e *Engine) BaseConfig() core.Config {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.base
+}
+
+// SetBaseConfig atomically replaces the base configuration. Queries
+// already executing keep the config they started with.
+func (e *Engine) SetBaseConfig(cfg core.Config) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.base = cfg
+}
+
+// SetWorkers atomically sets the exec-runtime concurrency of the base
+// configuration: 0 sequential, negative one worker per CPU, positive
+// as-is. Purely a speed knob — answers do not depend on it.
+func (e *Engine) SetWorkers(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.base.Workers = n
+}
+
+// EnablePlanCache attaches a pilot-plan cache of the given capacity
+// (plancache.DefaultCapacity if capacity <= 0) and returns it. ISLA
+// queries then run their pre-estimation through the per-block pipeline
+// (§VII-C geometry) so the pilot is precision-independent and shareable:
+// a repeat query on the same table, seed and sample fraction skips the
+// pilot phase entirely and returns a bit-identical answer. Replacing a
+// table via Register invalidates its cached pilots.
+func (e *Engine) EnablePlanCache(capacity int) *plancache.Cache {
+	c := plancache.New(capacity)
+	e.cache.Store(c)
+	e.hookOnce.Do(func() {
+		e.Catalog.OnRegister(func(name string) {
+			if pc := e.cache.Load(); pc != nil {
+				pc.Invalidate(name)
+			}
+		})
+	})
+	return c
+}
+
+// DisablePlanCache detaches the plan cache; queries run cold pilots again.
+func (e *Engine) DisablePlanCache() { e.cache.Store(nil) }
+
+// PlanCache returns the attached cache, or nil when disabled.
+func (e *Engine) PlanCache() *plancache.Cache { return e.cache.Load() }
+
+// Stats is a snapshot of the engine's serving counters.
+type Stats struct {
+	// InFlight is the number of queries executing right now.
+	InFlight int64
+	// Served is the number of queries completed since construction.
+	Served int64
+	// Uptime is the time since the engine was constructed.
+	Uptime time.Duration
+	// PerTable maps table names to completed query counts.
+	PerTable map[string]int64
+	// Cache holds plan-cache counters when a cache is attached.
+	Cache *plancache.Stats
+}
+
+// Stats returns a snapshot of the serving counters.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		InFlight: e.inFlight.Load(),
+		Served:   e.served.Load(),
+		Uptime:   time.Since(e.statsFrom),
+		PerTable: make(map[string]int64),
+	}
+	e.perTable.Range(func(k, v any) bool {
+		st.PerTable[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	if c := e.cache.Load(); c != nil {
+		cs := c.Stats()
+		st.Cache = &cs
+	}
+	return st
+}
+
+// countQuery updates the serving counters for one completed query.
+func (e *Engine) countQuery(table string) {
+	e.served.Add(1)
+	v, ok := e.perTable.Load(table)
+	if !ok {
+		v, _ = e.perTable.LoadOrStore(table, new(atomic.Int64))
+	}
+	v.(*atomic.Int64).Add(1)
 }
 
 // ExecuteSQL parses and executes one statement.
@@ -124,6 +265,8 @@ func (e *Engine) ExecuteContext(ctx context.Context, q query.Query) (Result, err
 	if err != nil {
 		return Result{}, err
 	}
+	e.inFlight.Add(1)
+	defer e.inFlight.Add(-1)
 	start := time.Now()
 	res := Result{Query: q, Method: q.Method, Rows: tbl.Store.TotalLen()}
 
@@ -131,13 +274,15 @@ func (e *Engine) ExecuteContext(ctx context.Context, q query.Query) (Result, err
 	if q.Agg == query.COUNT {
 		res.Value = float64(tbl.Store.TotalLen())
 		res.Duration = time.Since(start)
+		e.countQuery(tbl.Name)
 		return res, nil
 	}
 
-	avg, err := e.average(ctx, q, tbl.Store, &res)
+	avg, err := e.average(ctx, q, tbl, &res)
 	if err != nil {
 		return Result{}, err
 	}
+	e.countQuery(tbl.Name)
 	res.Value = avg
 	if q.Agg == query.SUM {
 		// SUM = AVG · M (§VII-D); the CI half-width scales by M too.
@@ -153,9 +298,12 @@ func (e *Engine) ExecuteContext(ctx context.Context, q query.Query) (Result, err
 	return res, nil
 }
 
-// average dispatches the AVG computation to the selected estimator.
-func (e *Engine) average(ctx context.Context, q query.Query, s *block.Store, res *Result) (float64, error) {
-	cfg := e.Base
+// average dispatches the AVG computation to the selected estimator. The
+// per-query overrides land in a derived copy of the base config, so no
+// engine state is written during execution.
+func (e *Engine) average(ctx context.Context, q query.Query, tbl *Table, res *Result) (float64, error) {
+	s := tbl.Store
+	cfg := e.BaseConfig()
 	if q.Precision > 0 {
 		cfg.Precision = q.Precision
 	}
@@ -176,16 +324,42 @@ func (e *Engine) average(ctx context.Context, q query.Query, s *block.Store, res
 	case query.MethodISLA:
 		if q.TimeBudget > 0 {
 			// §VII-F: derive the precision from the wall-clock budget.
+			var opts timebound.Options
+			var hit bool
+			if cache := e.cache.Load(); cache != nil {
+				fp, h, err := e.frozenPilot(ctx, cache, tbl, cfg)
+				if err != nil {
+					return 0, err
+				}
+				opts.Frozen = &fp
+				hit = h
+			}
 			tb, err := timebound.EstimateContext(ctx, s, cfg,
-				time.Duration(q.TimeBudget*float64(time.Second)), timebound.Options{})
+				time.Duration(q.TimeBudget*float64(time.Second)), opts)
 			if err != nil {
 				return 0, err
 			}
+			tb.Result.PilotCached = hit
 			res.CI = &tb.CI
 			res.Samples = tb.TotalSamples
 			res.Detail = &tb.Result
 			res.Truncated = tb.Truncated
 			return tb.Estimate, nil
+		}
+		if cache := e.cache.Load(); cache != nil {
+			fp, hit, err := e.frozenPilot(ctx, cache, tbl, cfg)
+			if err != nil {
+				return 0, err
+			}
+			out, err := core.EstimateFrozen(ctx, s, cfg, fp)
+			if err != nil {
+				return 0, err
+			}
+			out.PilotCached = hit
+			res.CI = &out.CI
+			res.Samples = out.TotalSamples
+			res.Detail = &out
+			return out.Estimate, nil
 		}
 		out, err := core.EstimateContext(ctx, s, cfg)
 		if err != nil {
@@ -233,4 +407,24 @@ func (e *Engine) average(ctx context.Context, q query.Query, s *block.Store, res
 	default:
 		return 0, errors.New("engine: unsupported method")
 	}
+}
+
+// frozenPilot fetches (or builds, single-flighted) the frozen
+// pre-estimation for the table version and config. The pilot's RNG
+// consumption depends only on the seed and the blocks' sizes; precision,
+// confidence and sample fraction are re-derived per query via
+// RederivePilot, so one pilot serves every precision target. The sample
+// fraction still participates in the key so cache entries map one-to-one
+// onto distinct sampling plans (at the cost of one extra pilot per
+// fraction in use).
+func (e *Engine) frozenPilot(ctx context.Context, cache *plancache.Cache, tbl *Table, cfg core.Config) (core.FrozenPilot, bool, error) {
+	key := plancache.Key{
+		Table:          tbl.Name,
+		Generation:     tbl.Gen,
+		SampleFraction: cfg.SampleFraction,
+		Seed:           cfg.Seed,
+	}
+	return cache.Get(ctx, key, func() (core.FrozenPilot, error) {
+		return core.FreezePilot(tbl.Store, cfg)
+	})
 }

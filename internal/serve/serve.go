@@ -1,0 +1,335 @@
+// Package serve is the HTTP/JSON front end of the query engine — the
+// paper's "system serving heavy traffic" face. It exposes the engine over
+// four stdlib-only endpoints:
+//
+//	POST /query    {"sql": "...", "timeout_ms": 500}  → answer + CI + diagnostics
+//	GET  /tables   registered tables with row/block counts
+//	GET  /healthz  liveness probe
+//	GET  /stats    plan-cache counters, in-flight queries, per-table QPS
+//
+// Concurrency control is two-layered: the engine itself is safe for
+// concurrent use (immutable base config, per-query derived configs, plan
+// cache with single-flight pilots), and the server adds admission control
+// — a semaphore bounding concurrently executing queries; requests beyond
+// the bound are rejected with 503 rather than queued without bound.
+// Per-request timeouts map to context deadlines on ExecuteSQLContext and
+// surface as 504.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"isla/internal/engine"
+	"isla/internal/stats"
+)
+
+// Config tunes the server.
+type Config struct {
+	// Engine executes the queries. Required.
+	Engine *engine.Engine
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (default 30s; negative disables).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-request timeout_ms (default 5m; negative
+	// removes the cap — DefaultTimeout still applies to requests that
+	// don't override it).
+	MaxTimeout time.Duration
+	// MaxInFlight bounds concurrently executing queries; further requests
+	// are rejected with 503 (default 64; negative disables admission
+	// control).
+	MaxInFlight int
+}
+
+func (c Config) normalize() Config {
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 64
+	}
+	return c
+}
+
+// Server is the HTTP front end. Create with New, mount via Handler.
+type Server struct {
+	eng      *engine.Engine
+	cfg      Config
+	sem      chan struct{}
+	mux      *http.ServeMux
+	rejected atomic.Int64
+	timedOut atomic.Int64
+	errored  atomic.Int64
+}
+
+// New returns a server over cfg.Engine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("serve: nil engine")
+	}
+	cfg = cfg.normalize()
+	s := &Server{eng: cfg.Engine, cfg: cfg}
+	if cfg.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/tables", s.handleTables)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s, nil
+}
+
+// Handler returns the root handler, suitable for http.Server or httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+	// TimeoutMS bounds this query's execution; 0 means the server
+	// default. Values are capped at the server's MaxTimeout; negative
+	// values are rejected with 400.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// CIResponse is a confidence interval in the wire format.
+type CIResponse struct {
+	Center     float64 `json:"center"`
+	HalfWidth  float64 `json:"half_width"`
+	Confidence float64 `json:"confidence"`
+	Lo         float64 `json:"lo"`
+	Hi         float64 `json:"hi"`
+}
+
+// QueryResponse is the POST /query answer.
+type QueryResponse struct {
+	SQL         string      `json:"sql"`
+	Value       float64     `json:"value"`
+	Method      string      `json:"method"`
+	Rows        int64       `json:"rows"`
+	Samples     int64       `json:"samples"`
+	DurationMS  float64     `json:"duration_ms"`
+	Truncated   bool        `json:"truncated,omitempty"`
+	CI          *CIResponse `json:"ci,omitempty"`
+	PilotCached bool        `json:"pilot_cached,omitempty"`
+	PilotSize   int64       `json:"pilot_size,omitempty"`
+}
+
+// ErrorResponse is the JSON error envelope.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection is gone if this fails
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	// A statement is at most a few hundred bytes; cap the body so one
+	// client cannot exhaust memory before admission control runs.
+	var req QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<10)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing sql"))
+		return
+	}
+
+	// Admission control: reject beyond the in-flight bound instead of
+	// queueing without bound.
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.rejected.Add(1)
+			writeError(w, http.StatusServiceUnavailable, errors.New("server at capacity, retry later"))
+			return
+		}
+	}
+
+	ctx := r.Context()
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS != 0 {
+		// Disabling the deadline is operator-only (negative
+		// DefaultTimeout); a client cannot opt out of MaxTimeout.
+		if req.TimeoutMS < 0 {
+			writeError(w, http.StatusBadRequest, errors.New("timeout_ms must be positive"))
+			return
+		}
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if s.cfg.MaxTimeout > 0 && timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	res, err := s.eng.ExecuteSQLContext(ctx, req.SQL)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.timedOut.Add(1)
+			writeError(w, http.StatusGatewayTimeout, fmt.Errorf("query timed out after %v", timeout))
+		case errors.Is(err, context.Canceled):
+			s.errored.Add(1)
+			writeError(w, http.StatusBadRequest, errors.New("request cancelled"))
+		case errors.Is(err, engine.ErrUnknownTable):
+			s.errored.Add(1)
+			writeError(w, http.StatusNotFound, err)
+		default:
+			s.errored.Add(1)
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+
+	resp := QueryResponse{
+		SQL:        req.SQL,
+		Value:      res.Value,
+		Method:     res.Method.String(),
+		Rows:       res.Rows,
+		Samples:    res.Samples,
+		DurationMS: float64(res.Duration.Microseconds()) / 1000,
+		Truncated:  res.Truncated,
+		CI:         ciResponse(res.CI),
+	}
+	if res.Detail != nil {
+		resp.PilotCached = res.Detail.PilotCached
+		resp.PilotSize = res.Detail.Pilot.PilotSize
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func ciResponse(ci *stats.ConfidenceInterval) *CIResponse {
+	if ci == nil {
+		return nil
+	}
+	return &CIResponse{
+		Center:     ci.Center,
+		HalfWidth:  ci.HalfWidth,
+		Confidence: ci.Confidence,
+		Lo:         ci.Lo(),
+		Hi:         ci.Hi(),
+	}
+}
+
+// TableInfo is one row of GET /tables.
+type TableInfo struct {
+	Name   string `json:"name"`
+	Rows   int64  `json:"rows"`
+	Blocks int    `json:"blocks"`
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	names := s.eng.Catalog.Names()
+	infos := make([]TableInfo, 0, len(names))
+	for _, n := range names {
+		tbl, err := s.eng.Catalog.Lookup(n)
+		if err != nil {
+			continue // raced with a concurrent drop; skip
+		}
+		infos = append(infos, TableInfo{
+			Name:   n,
+			Rows:   tbl.Store.TotalLen(),
+			Blocks: tbl.Store.NumBlocks(),
+		})
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// TableStats is one table's serving counters in GET /stats.
+type TableStats struct {
+	Queries int64   `json:"queries"`
+	QPS     float64 `json:"qps"`
+}
+
+// CacheStats mirrors the plan cache counters in GET /stats.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+}
+
+// StatsResponse is the GET /stats body.
+type StatsResponse struct {
+	UptimeSeconds float64               `json:"uptime_seconds"`
+	InFlight      int64                 `json:"in_flight"`
+	Served        int64                 `json:"served"`
+	Rejected      int64                 `json:"rejected"`
+	TimedOut      int64                 `json:"timed_out"`
+	Errored       int64                 `json:"errored"`
+	PerTable      map[string]TableStats `json:"per_table"`
+	Cache         *CacheStats           `json:"cache,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	es := s.eng.Stats()
+	resp := StatsResponse{
+		UptimeSeconds: es.Uptime.Seconds(),
+		InFlight:      es.InFlight,
+		Served:        es.Served,
+		Rejected:      s.rejected.Load(),
+		TimedOut:      s.timedOut.Load(),
+		Errored:       s.errored.Load(),
+		PerTable:      make(map[string]TableStats, len(es.PerTable)),
+	}
+	secs := es.Uptime.Seconds()
+	for name, n := range es.PerTable {
+		ts := TableStats{Queries: n}
+		if secs > 0 {
+			ts.QPS = float64(n) / secs
+		}
+		resp.PerTable[name] = ts
+	}
+	if es.Cache != nil {
+		resp.Cache = &CacheStats{
+			Hits:      es.Cache.Hits,
+			Misses:    es.Cache.Misses,
+			Evictions: es.Cache.Evictions,
+			Entries:   es.Cache.Entries,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -42,6 +42,26 @@ func (r *RNG) Seed(seed uint64) {
 	}
 }
 
+// RNGState is a snapshot of a generator's internal state, suitable for
+// caching: restoring it resumes the exact stream the generator would have
+// produced. The zero value is degenerate; only states captured with
+// (*RNG).State are meaningful.
+type RNGState struct {
+	S0, S1 uint64
+}
+
+// State captures the generator's current state for later restoration.
+func (r *RNG) State() RNGState { return RNGState{S0: r.s0, S1: r.s1} }
+
+// RNG returns a fresh generator resumed from the snapshot. A degenerate
+// all-zero snapshot is coerced to a valid state, mirroring Seed.
+func (st RNGState) RNG() *RNG {
+	if st.S0 == 0 && st.S1 == 0 {
+		st.S1 = 1
+	}
+	return &RNG{s0: st.S0, s1: st.S1}
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *RNG) Uint64() uint64 {
 	x, y := r.s0, r.s1

@@ -68,6 +68,13 @@ type Options struct {
 	// block coverage). Intended for reproducible benchmarks and the
 	// scalar/batch equivalence tests.
 	FixedSamples int64
+	// Frozen, when non-nil, supplies a frozen per-block pre-estimation
+	// (typically from a plan cache): after the calibration burst derives
+	// the affordable precision, the run skips its own pilot and executes
+	// the calculation phase from the frozen state via core.EstimateFrozen.
+	// Like the PerBlockBounds path, this mode does not apply the
+	// best-effort wall-clock truncation.
+	Frozen *core.FrozenPilot
 }
 
 func (o Options) normalize() Options {
@@ -162,6 +169,24 @@ func EstimateContext(ctx context.Context, s *block.Store, cfg core.Config, budge
 	cfg.Precision = e
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
+	}
+
+	// A frozen pre-estimation (plan-cache hit) skips the pilot entirely:
+	// the calculation phase runs from the cached per-block state at the
+	// derived precision, without best-effort truncation.
+	if opts.Frozen != nil {
+		res, err := core.EstimateFrozen(ctx, s, cfg, *opts.Frozen)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{
+			Result:            res,
+			Budget:            budget,
+			Elapsed:           time.Since(start),
+			AchievedPrecision: e,
+			SamplesPerSecond:  throughput,
+			CoveredBlocks:     len(res.PerBlock),
+		}, nil
 	}
 
 	// The non-i.i.d. pipeline keeps its per-block pilots and geometry; it

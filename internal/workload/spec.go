@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"isla/internal/block"
+)
+
+// FromSpec materializes the CLI table-spec syntax shared by islacli and
+// islaserv: "name=dist:key=val,..." with distributions normal (mu, sigma),
+// exp (gamma), uniform (lo, hi), salary, tlc, tpch and noniid, plus the
+// common n, blocks and seed parameters. It returns the table name and its
+// generated store.
+func FromSpec(spec string) (string, *block.Store, error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok {
+		return "", nil, fmt.Errorf("workload: bad table spec %q (want name=dist:params)", spec)
+	}
+	dist, params, _ := strings.Cut(rest, ":")
+	kv := map[string]float64{"mu": 100, "sigma": 20, "gamma": 0.1, "lo": 1, "hi": 199,
+		"n": 1_000_000, "blocks": 10, "seed": 1}
+	if params != "" {
+		for _, p := range strings.Split(params, ",") {
+			k, v, ok := strings.Cut(p, "=")
+			if !ok {
+				return "", nil, fmt.Errorf("workload: bad param %q in %q", p, spec)
+			}
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return "", nil, fmt.Errorf("workload: bad value %q in %q", v, spec)
+			}
+			kv[strings.TrimSpace(k)] = f
+		}
+	}
+	n, blocks, seed := int(kv["n"]), int(kv["blocks"]), uint64(kv["seed"])
+	var (
+		store *block.Store
+		err   error
+	)
+	switch strings.ToLower(dist) {
+	case "normal", "":
+		store, _, err = Normal(kv["mu"], kv["sigma"], n, blocks, seed)
+	case "exp", "exponential":
+		store, _, err = Exponential(kv["gamma"], n, blocks, seed)
+	case "uniform":
+		store, _, err = UniformRange(kv["lo"], kv["hi"], n, blocks, seed)
+	case "salary":
+		store, _, err = Salary(n, blocks, seed)
+	case "tlc":
+		store, _, err = TLCTrips(n, blocks, seed)
+	case "tpch":
+		store, _, err = TPCHLineitem(n, blocks, seed)
+	case "noniid":
+		store, _, err = PaperNonIID(n/5, seed)
+	default:
+		return "", nil, fmt.Errorf("workload: unknown distribution %q", dist)
+	}
+	if err != nil {
+		return "", nil, err
+	}
+	return name, store, nil
+}

@@ -48,6 +48,7 @@ import (
 	"isla/internal/group"
 	"isla/internal/ingest"
 	"isla/internal/online"
+	"isla/internal/plancache"
 	"isla/internal/query"
 	"isla/internal/timebound"
 )
@@ -229,9 +230,38 @@ func NewDB() *DB {
 	return &DB{engine: engine.New(engine.NewCatalog())}
 }
 
-// SetBaseConfig replaces the engine's base estimator configuration; query
-// options (PRECISION, CONFIDENCE, …) still override per statement.
-func (db *DB) SetBaseConfig(cfg Config) { db.engine.Base = cfg }
+// SetBaseConfig atomically replaces the engine's base estimator
+// configuration; query options (PRECISION, CONFIDENCE, …) still override
+// per statement. Safe to call while queries are executing: in-flight
+// queries keep the config they started with.
+func (db *DB) SetBaseConfig(cfg Config) { db.engine.SetBaseConfig(cfg) }
+
+// BaseConfig returns a copy of the engine's base configuration.
+func (db *DB) BaseConfig() Config { return db.engine.BaseConfig() }
+
+// EnablePlanCache attaches a pilot-plan cache of the given capacity (0
+// for the default). Repeat ISLA queries on the same table, seed and
+// sample fraction then skip the pre-estimation pilot entirely and return
+// bit-identical answers; re-registering a table invalidates its cached
+// pilots. With the cache enabled, ISLA queries run the per-block (§VII-C)
+// pre-estimation so pilots are shareable across precision targets.
+func (db *DB) EnablePlanCache(capacity int) { db.engine.EnablePlanCache(capacity) }
+
+// DisablePlanCache detaches the plan cache; queries run cold pilots again.
+func (db *DB) DisablePlanCache() { db.engine.DisablePlanCache() }
+
+// PlanCacheStats is a snapshot of the plan cache's counters.
+type PlanCacheStats = plancache.Stats
+
+// PlanCacheStats returns the cache counters, or false when no cache is
+// attached.
+func (db *DB) PlanCacheStats() (PlanCacheStats, bool) {
+	c := db.engine.PlanCache()
+	if c == nil {
+		return PlanCacheStats{}, false
+	}
+	return c.Stats(), true
+}
 
 // RegisterStore registers a block store as a named table.
 func (db *DB) RegisterStore(name string, s *Store) { db.engine.Catalog.Register(name, s) }
@@ -263,5 +293,6 @@ func (db *DB) ExecuteContext(ctx context.Context, q Query) (QueryResult, error) 
 
 // SetWorkers sets the exec-runtime concurrency for every estimation the
 // database runs: 0 sequential, negative one worker per CPU, positive
-// as-is. Purely a speed knob — answers do not depend on it.
-func (db *DB) SetWorkers(n int) { db.engine.Base.Workers = n }
+// as-is. Purely a speed knob — answers do not depend on it. Safe to call
+// while queries are executing.
+func (db *DB) SetWorkers(n int) { db.engine.SetWorkers(n) }
