@@ -29,8 +29,10 @@ func scalarize(s *block.Store) *block.Store {
 	return block.NewStore(wrapped...)
 }
 
-// equivStores builds the canonical workload as an in-memory store and a
-// file-backed store over identical values.
+// equivStores builds the canonical workload as an in-memory store, a
+// pread file store and (where supported) a memory-mapped file store over
+// identical values — the three storage paths the determinism contract
+// spans.
 func equivStores(t *testing.T) map[string]*block.Store {
 	t.Helper()
 	mem, _, err := workload.Normal(100, 20, 200_000, 8, 7)
@@ -41,12 +43,31 @@ func equivStores(t *testing.T) map[string]*block.Store {
 	if err := mem.Scan(func(v float64) error { data = append(data, v); return nil }); err != nil {
 		t.Fatal(err)
 	}
-	file, err := block.WritePartitioned(filepath.Join(t.TempDir(), "col"), data, 8)
+	prefix := filepath.Join(t.TempDir(), "col")
+	pread, err := block.WritePartitionedMode(prefix, data, 8, block.ModePread)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { file.Close() })
-	return map[string]*block.Store{"mem": mem, "file": file}
+	t.Cleanup(func() { pread.Close() })
+	stores := map[string]*block.Store{"mem": mem, "pread": pread}
+	if block.MmapSupported() {
+		paths := make([]string, 8)
+		for i := range paths {
+			paths[i] = fmt.Sprintf("%s.%03d", prefix, i)
+		}
+		blocks := make([]block.Block, len(paths))
+		for i, p := range paths {
+			mb, err := block.Open(i, p, block.ModeMmap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blocks[i] = mb
+		}
+		mmap := block.NewStore(blocks...)
+		t.Cleanup(func() { mmap.Close() })
+		stores["mmap"] = mmap
+	}
+	return stores
 }
 
 func equivCfg() core.Config {

@@ -30,10 +30,15 @@ func main() {
 		blocks = flag.Int("blocks", 10, "number of block files")
 		seed   = flag.Uint64("seed", 1, "random seed")
 		out    = flag.String("out", "", "output prefix (required)")
+		format = flag.String("format", "v2", "ISLB format: v2 (summary footers, default) or v1 (legacy, for compat fixtures)")
 	)
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "datagen: -out is required")
+		os.Exit(2)
+	}
+	if *blocks <= 0 {
+		fmt.Fprintf(os.Stderr, "datagen: block count %d must be positive\n", *blocks)
 		os.Exit(2)
 	}
 
@@ -70,14 +75,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
 		os.Exit(1)
 	}
-	fileStore, err := block.WritePartitioned(*out, data, *blocks)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
-		os.Exit(1)
+	switch *format {
+	case "v2":
+		fileStore, err := block.WritePartitioned(*out, data, *blocks)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+			os.Exit(1)
+		}
+		fileStore.Close() // datagen only writes; release the mappings immediately
+	case "v1":
+		for i := 0; i < *blocks; i++ {
+			lo := i * len(data) / *blocks
+			hi := (i + 1) * len(data) / *blocks
+			path := fmt.Sprintf("%s.%03d", *out, i)
+			if err := block.WriteFileV1(path, data[lo:hi]); err != nil {
+				fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown format %q (want v1 or v2)\n", *format)
+		os.Exit(2)
 	}
-	fileStore.Close() // datagen only writes; release the handles immediately
 	var m stats.Moments
 	m.AddAll(data)
-	fmt.Printf("wrote %d values (%d blocks) to %s.*\n", len(data), *blocks, *out)
+	fmt.Printf("wrote %d values (%d blocks, ISLB %s) to %s.*\n", len(data), *blocks, *format, *out)
 	fmt.Printf("distribution mean %.4f, empirical mean %.4f, stddev %.4f\n", truth, m.Mean(), m.StdDev())
 }

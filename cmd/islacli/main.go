@@ -31,7 +31,14 @@ func main() {
 	clusterAddrs := flag.String("cluster", "", "comma-separated islaworker addresses; runs the query on the cluster as table 'cluster'")
 	q := flag.String("q", "", "execute one query and exit")
 	workers := flag.Int("workers", 0, "exec-runtime concurrency: 0 sequential, -1 one worker per CPU, n as-is; with -cluster, n caps in-flight RPCs (0/-1 = one per block). Answers are identical for any setting")
+	openMode := flag.String("open", "auto", "block-file access for -load: mmap (zero-copy mapping), pread (positioned reads) or auto (mmap where supported)")
+	summaryPilot := flag.Bool("summary-pilot", false, "serve pre-estimation from persisted ISLB v2 summaries when every block has one: exact σ/sketch0, zero pilot samples")
 	flag.Parse()
+
+	mode, err := isla.ParseOpenMode(*openMode)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *clusterAddrs != "" {
 		if err := runCluster(*clusterAddrs, *q, *workers); err != nil {
@@ -42,17 +49,22 @@ func main() {
 
 	db := isla.NewDB()
 	db.SetWorkers(*workers)
+	if *summaryPilot {
+		cfg := db.BaseConfig()
+		cfg.SummaryPilot = true
+		db.SetBaseConfig(cfg)
+	}
 	for _, g := range gens {
 		if err := registerGen(db, g); err != nil {
 			fatal(err)
 		}
 	}
 	for _, l := range loads {
-		store, err := registerLoad(db, l)
+		store, err := registerLoad(db, l, mode)
 		if err != nil {
 			fatal(err)
 		}
-		defer store.Close() // release the block file handles on exit
+		defer store.Close() // release the block mappings/handles on exit
 	}
 	for _, tl := range texts {
 		if err := registerText(db, tl); err != nil {
@@ -123,9 +135,9 @@ func registerGen(db *isla.DB, spec string) error {
 	return nil
 }
 
-// registerLoad opens prefix.000, prefix.001, … as one table and returns
-// the store so the caller can Close its file handles when done.
-func registerLoad(db *isla.DB, spec string) (*isla.Store, error) {
+// registerLoad opens prefix.000, prefix.001, … as one table in the given
+// open mode and returns the store so the caller can Close it when done.
+func registerLoad(db *isla.DB, spec string, mode isla.OpenMode) (*isla.Store, error) {
 	name, prefix, ok := strings.Cut(spec, "=")
 	if !ok {
 		return nil, fmt.Errorf("islacli: bad -load %q (want name=prefix)", spec)
@@ -138,7 +150,7 @@ func registerLoad(db *isla.DB, spec string) (*isla.Store, error) {
 		return nil, fmt.Errorf("islacli: no block files match %s.*", prefix)
 	}
 	sort.Strings(matches)
-	store, err := isla.OpenFiles(matches...)
+	store, err := isla.OpenFilesMode(mode, matches...)
 	if err != nil {
 		return nil, err
 	}

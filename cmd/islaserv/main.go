@@ -1,7 +1,9 @@
 // Command islaserv serves ISLA approximate aggregation over HTTP/JSON.
 //
 // Tables come from the same sources as islacli — synthetic generators,
-// text or CSV files — and queries arrive as POST /query bodies:
+// text or CSV files, or binary block files (-load name=prefix, serviced
+// zero-copy via mmap by default; -open pread forces positioned reads) —
+// and queries arrive as POST /query bodies:
 //
 //	islaserv -gen "sales=normal:mu=100,sigma=20,n=1000000,blocks=10" -addr :8080
 //	curl -s localhost:8080/query -d '{"sql":"SELECT AVG(v) FROM sales WITH PRECISION 0.1"}'
@@ -23,10 +25,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
 
+	"isla/internal/block"
 	"isla/internal/engine"
 	"isla/internal/ingest"
 	"isla/internal/serve"
@@ -34,14 +39,17 @@ import (
 )
 
 func main() {
-	var gens, texts, csvs multiFlag
+	var gens, texts, csvs, loads multiFlag
 	flag.Var(&gens, "gen", "synthetic table spec name=dist:key=val,... (repeatable)")
 	flag.Var(&texts, "txt", "load one-value-per-line text name=path (repeatable)")
 	flag.Var(&csvs, "csv", "load CSV column name=path:column (repeatable)")
+	flag.Var(&loads, "load", "serve binary block files name=prefix (expects prefix.000…; repeatable)")
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		blocks   = flag.Int("blocks", 10, "block count for -txt/-csv tables")
 		workers  = flag.Int("workers", -1, "exec-runtime concurrency per query: 0 sequential, -1 one worker per CPU, n as-is")
+		openMode = flag.String("open", "auto", "block-file access for -load: mmap (zero-copy mapping), pread (positioned reads) or auto")
+		sumPilot = flag.Bool("summary-pilot", false, "serve pre-estimation from persisted ISLB v2 summaries when every block has one")
 		cache    = flag.Int("cache", 128, "pilot-plan cache capacity; <= 0 disables the cache")
 		timeout  = flag.Duration("timeout", 30*time.Second, "default per-query execution timeout (requests may override via timeout_ms)")
 		maxTime  = flag.Duration("max-timeout", 5*time.Minute, "upper bound on any per-query timeout")
@@ -50,18 +58,34 @@ func main() {
 	)
 	flag.Parse()
 
-	catalog := engine.NewCatalog()
-	if err := loadTables(catalog, gens, texts, csvs, *blocks); err != nil {
+	mode, err := block.ParseOpenMode(*openMode)
+	if err != nil {
 		fatal(err)
 	}
+
+	catalog := engine.NewCatalog()
+	stores, err := loadTables(catalog, gens, texts, csvs, loads, *blocks, mode)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		for _, s := range stores {
+			s.Close() // release block mappings/handles on shutdown
+		}
+	}()
 	if len(catalog.Names()) == 0 {
-		fmt.Fprintln(os.Stderr, "islaserv: no tables; use -gen, -txt or -csv, e.g.\n"+
+		fmt.Fprintln(os.Stderr, "islaserv: no tables; use -gen, -txt, -csv or -load, e.g.\n"+
 			`  islaserv -gen "sales=normal:mu=100,sigma=20,n=1000000,blocks=10"`)
 		os.Exit(2)
 	}
 
 	eng := engine.New(catalog)
 	eng.SetWorkers(*workers)
+	if *sumPilot {
+		cfg := eng.BaseConfig()
+		cfg.SummaryPilot = true
+		eng.SetBaseConfig(cfg)
+	}
 	if *cache > 0 {
 		eng.EnablePlanCache(*cache)
 	}
@@ -103,40 +127,69 @@ func main() {
 	}
 }
 
-// loadTables registers every table spec into the catalog.
-func loadTables(catalog *engine.Catalog, gens, texts, csvs []string, blocks int) error {
+// loadTables registers every table spec into the catalog and returns the
+// file-backed stores so the caller can release their mappings/handles on
+// shutdown.
+func loadTables(catalog *engine.Catalog, gens, texts, csvs, loads []string, blocks int, mode block.OpenMode) ([]*block.Store, error) {
 	for _, g := range gens {
 		if err := registerGen(catalog, g); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	for _, tl := range texts {
 		name, path, ok := strings.Cut(tl, "=")
 		if !ok {
-			return fmt.Errorf("islaserv: bad -txt %q (want name=path)", tl)
+			return nil, fmt.Errorf("islaserv: bad -txt %q (want name=path)", tl)
 		}
 		s, _, err := ingest.LoadText(path, ingest.Options{Blocks: blocks, SkipInvalid: true})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		catalog.Register(name, s)
 	}
 	for _, cl := range csvs {
 		name, rest, ok := strings.Cut(cl, "=")
 		if !ok {
-			return fmt.Errorf("islaserv: bad -csv %q (want name=path:column)", cl)
+			return nil, fmt.Errorf("islaserv: bad -csv %q (want name=path:column)", cl)
 		}
 		path, column, ok := strings.Cut(rest, ":")
 		if !ok {
-			return fmt.Errorf("islaserv: bad -csv %q (want name=path:column)", cl)
+			return nil, fmt.Errorf("islaserv: bad -csv %q (want name=path:column)", cl)
 		}
 		s, _, err := ingest.LoadCSV(path, column, 0, ingest.Options{Blocks: blocks, SkipInvalid: true})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		catalog.Register(name, s)
 	}
-	return nil
+	var stores []*block.Store
+	for _, ld := range loads {
+		name, prefix, ok := strings.Cut(ld, "=")
+		if !ok {
+			return stores, fmt.Errorf("islaserv: bad -load %q (want name=prefix)", ld)
+		}
+		matches, err := filepath.Glob(prefix + ".*")
+		if err != nil {
+			return stores, err
+		}
+		if len(matches) == 0 {
+			return stores, fmt.Errorf("islaserv: no block files match %s.*", prefix)
+		}
+		sort.Strings(matches)
+		blks := make([]block.Block, 0, len(matches))
+		for i, p := range matches {
+			fb, err := block.Open(i, p, mode)
+			if err != nil {
+				block.NewStore(blks...).Close()
+				return stores, err
+			}
+			blks = append(blks, fb)
+		}
+		s := block.NewStore(blks...)
+		stores = append(stores, s)
+		catalog.Register(name, s)
+	}
+	return stores, nil
 }
 
 // registerGen materializes a "name=dist:key=val,..." spec (the syntax

@@ -31,12 +31,19 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:0", "address to serve on")
-		load   = flag.String("load", "", "block file prefix (expects prefix.000…)")
-		gen    = flag.String("gen", "", "synthetic spec dist:key=val,... (demo mode)")
-		baseID = flag.Int("base-id", 0, "first block id served by this worker")
+		listen   = flag.String("listen", "127.0.0.1:0", "address to serve on")
+		load     = flag.String("load", "", "block file prefix (expects prefix.000…)")
+		gen      = flag.String("gen", "", "synthetic spec dist:key=val,... (demo mode)")
+		baseID   = flag.Int("base-id", 0, "first block id served by this worker")
+		openMode = flag.String("open", "auto", "block-file access for -load: mmap, pread or auto")
 	)
 	flag.Parse()
+
+	mode, err := block.ParseOpenMode(*openMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "islaworker: %v\n", err)
+		os.Exit(2)
+	}
 
 	var blocks []isla.Block
 	switch {
@@ -48,7 +55,7 @@ func main() {
 		}
 		sort.Strings(matches)
 		for i, p := range matches {
-			fb, err := block.OpenFile(*baseID+i, p)
+			fb, err := block.Open(*baseID+i, p, mode)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "islaworker: %v\n", err)
 				os.Exit(1)

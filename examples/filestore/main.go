@@ -1,9 +1,11 @@
-// Filestore: the paper's on-disk deployment — a column written as binary
-// block files, reopened as a store and aggregated without ever loading the
-// data into memory. Sampling uses the batched fast path: per-chunk index
-// generation, offsets sorted for locality, coalesced positioned reads on a
-// file handle that stays open for the store's lifetime (release it with
-// Close when done).
+// Filestore: the paper's on-disk deployment — a column written as ISLB v2
+// block files (summary footers included), reopened as a store and
+// aggregated without ever loading the data into memory. Where the platform
+// supports it the files are memory-mapped: sampling is a zero-copy slice
+// gather out of the page cache, and the exact mean below is answered from
+// the persisted footers without a scan. On other platforms the store falls
+// back to batched positioned reads. Release the mappings/handles with
+// Close when done.
 //
 //	go run ./examples/filestore
 package main

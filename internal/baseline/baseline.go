@@ -152,8 +152,12 @@ func MeasureBiasedOffline(s *block.Store, m int64, r *stats.RNG) (float64, error
 	if m <= 0 {
 		return 0, fmt.Errorf("baseline: sample size %d must be positive", m)
 	}
+	// The normalizer Σa is exactly what ISLB v2 footers persist: stores
+	// with full summaries skip the first scan entirely.
 	var total float64
-	if err := s.Scan(func(v float64) error { total += v; return nil }); err != nil {
+	if sum, ok := s.Summary(); ok {
+		total = sum.Sum
+	} else if err := s.Scan(func(v float64) error { total += v; return nil }); err != nil {
 		return 0, err
 	}
 	if total <= 0 {
@@ -287,9 +291,12 @@ func SLEV(s *block.Store, cfg SLEVConfig, r *stats.RNG) (float64, error) {
 	if n == 0 {
 		return 0, ErrNoSamples
 	}
-	// Pass 1: Σa² for the leverage scores.
+	// Pass 1: Σa² for the leverage scores — persisted in ISLB v2 footers,
+	// so summarized stores pay one scan instead of two.
 	var sum2 float64
-	if err := s.Scan(func(v float64) error { sum2 += v * v; return nil }); err != nil {
+	if sum, ok := s.Summary(); ok {
+		sum2 = sum.SumSq
+	} else if err := s.Scan(func(v float64) error { sum2 += v * v; return nil }); err != nil {
 		return 0, err
 	}
 	if sum2 == 0 {

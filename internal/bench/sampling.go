@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -14,7 +15,7 @@ import (
 // fast-path benchmark: the ns/sample trajectory tracked across commits in
 // BENCH_sampling.json.
 type SamplingStat struct {
-	Layout      string  `json:"layout"` // "mem" | "file"
+	Layout      string  `json:"layout"` // "mem" | "file" (pread) | "mmap"
 	Path        string  `json:"path"`   // "scalar" | "batch"
 	Samples     int64   `json:"samples"`
 	WallMS      float64 `json:"wall_ms"`
@@ -26,9 +27,10 @@ type SamplingStat struct {
 const samplingDraws = 1 << 20
 
 // Sampling measures the scalar (per-value callback) and batched (chunked
-// buffer) sampling paths over one in-memory and one file-backed block of
-// o.N values. Both paths draw the same sample count with the same seed;
-// only the servicing differs.
+// buffer) sampling paths over one in-memory block, one pread file block and
+// one memory-mapped file block of o.N values (the "mmap" layout is skipped
+// on platforms without the mapping). Every path draws the same sample count
+// with the same seed; only the servicing differs.
 func Sampling(o Options) ([]SamplingStat, error) {
 	o = o.Defaults()
 	mem := block.NewMemBlock(0, syntheticColumn(o.N, o.Seed))
@@ -42,17 +44,30 @@ func Sampling(o Options) ([]SamplingStat, error) {
 	if err := block.WriteFile(path, mem.Data()); err != nil {
 		return nil, err
 	}
-	file, err := block.OpenFile(0, path)
+	file, err := block.Open(0, path, block.ModePread)
 	if err != nil {
 		return nil, err
 	}
-	defer file.Close()
+	defer file.(io.Closer).Close()
 
-	var out []SamplingStat
-	for _, layout := range []struct {
+	layouts := []struct {
 		name string
 		blk  block.Block
-	}{{"mem", mem}, {"file", file}} {
+	}{{"mem", mem}, {"file", file}}
+	if block.MmapSupported() {
+		mm, err := block.Open(0, path, block.ModeMmap)
+		if err != nil {
+			return nil, err
+		}
+		defer mm.(io.Closer).Close()
+		layouts = append(layouts, struct {
+			name string
+			blk  block.Block
+		}{"mmap", mm})
+	}
+
+	var out []SamplingStat
+	for _, layout := range layouts {
 		for _, p := range []struct {
 			name string
 			time func(block.Block, uint64) (time.Duration, error)

@@ -90,16 +90,23 @@ var idxPool = sync.Pool{
 // SampleInto implements BatchSampler by bulk-generating indices and
 // gathering straight from the backing slice.
 func (b *MemBlock) SampleInto(r *stats.RNG, dst []float64) error {
-	n := int64(len(b.data))
-	if n == 0 {
+	if len(b.data) == 0 {
 		if len(dst) == 0 {
 			return nil
 		}
 		return ErrEmptyBlock
 	}
+	return sampleIntoSlice(b.data, r, dst)
+}
+
+// sampleIntoSlice is the shared slice-gather kernel behind the in-memory
+// and memory-mapped batched paths: chunked bulk index generation, then a
+// direct gather from data. data must be non-empty. The RNG stream matches
+// a scalar Int63n loop exactly.
+func sampleIntoSlice(data []float64, r *stats.RNG, dst []float64) error {
+	n := int64(len(data))
 	idxp := idxPool.Get().(*[]int64)
 	defer idxPool.Put(idxp)
-	data := b.data
 	for len(dst) > 0 {
 		k := len(dst)
 		if k > ChunkSize {

@@ -120,12 +120,64 @@ func (s *Store) Scan(fn func(v float64) error) error {
 	return nil
 }
 
-// ExactMean computes the true average with a full scan — the golden truth
-// the approximate estimators are judged against. It returns an error for an
-// empty store.
+// Summary merges the per-block persisted summaries into store totals. ok
+// is true only when every non-empty block carries one (ISLB v2 blocks do;
+// in-memory and v1 blocks don't), so a true result is always exact for the
+// whole store and cost O(b) — no data was touched.
+func (s *Store) Summary() (Summary, bool) {
+	var acc Summary
+	for _, b := range s.blocks {
+		sum, ok := BlockSummary(b)
+		if !ok {
+			if b.Len() == 0 {
+				continue // an empty block contributes nothing either way
+			}
+			return Summary{}, false
+		}
+		acc.Merge(sum)
+	}
+	return acc, true
+}
+
+// SummaryChecksum folds the per-block summary checksums (the CRC-32C
+// values persisted in v2 footers, as captured when each block was opened)
+// into one store-wide fingerprint, FNV-1a over block order. It returns 0
+// when no block carries a summary, so purely in-memory stores keep a
+// stable zero fingerprint. Plan caches key derived state by it: a store
+// opened over different block files fingerprints differently, so cached
+// plans bind to the summary content they were derived from.
+func (s *Store) SummaryChecksum() uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	any := false
+	for _, b := range s.blocks {
+		var c uint32
+		if sum, ok := BlockSummary(b); ok {
+			c = sum.Checksum()
+			any = true
+		}
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	if !any {
+		return 0
+	}
+	return h
+}
+
+// ExactMean computes the true average — the golden truth the approximate
+// estimators are judged against. Stores whose blocks all persist summaries
+// answer from them without touching data; otherwise a full scan runs. It
+// returns an error for an empty store.
 func (s *Store) ExactMean() (float64, error) {
 	if s.total == 0 {
 		return 0, ErrEmptyBlock
+	}
+	if sum, ok := s.Summary(); ok && sum.Count > 0 {
+		return sum.Mean(), nil
 	}
 	// Per-block Welford then merge, to stay stable on large stores.
 	var acc stats.Moments
@@ -209,8 +261,10 @@ func (s *Store) PilotSampleChunks(r *stats.RNG, m int64, fn func(vs []float64) e
 }
 
 // Close releases resources held by the store's blocks: every block
-// implementing io.Closer (file-backed blocks) is closed. The first error is
-// returned, but every block is attempted.
+// implementing io.Closer (file-backed and memory-mapped blocks) is closed.
+// Every block is attempted even when one fails; the first error wins.
+// Closing an already-closed store is a no-op returning nil — the built-in
+// blocks' Close methods are idempotent.
 func (s *Store) Close() error {
 	var first error
 	for _, b := range s.blocks {

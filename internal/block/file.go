@@ -13,96 +13,89 @@ import (
 	"isla/internal/stats"
 )
 
-// fileMagic identifies ISLA binary block files ("ISLB" + version 1).
-var fileMagic = [8]byte{'I', 'S', 'L', 'B', 0, 0, 0, 1}
-
-const headerSize = 16 // magic (8) + count (8)
-
-// FileBlock is a Block stored in a binary file: a 16-byte header followed by
-// little-endian float64 values. The file handle opened by OpenFile is kept
-// for the block's lifetime — random-access sampling and scans share it via
-// positioned reads (safe for concurrent use), so no operation pays an
-// open/close round-trip. Call Close (directly or via Store.Close) when the
-// block is no longer needed. This simulates the paper's ".txt documents on
-// disk" blocks without the parse cost skewing efficiency benchmarks.
+// FileBlock is a Block stored in an ISLB file, serviced through positioned
+// reads (pread) on a handle opened once by OpenFile and kept for the
+// block's lifetime — random-access sampling and scans share it, so no
+// operation pays an open/close round-trip. Call Close (directly or via
+// Store.Close) when the block is no longer needed. For the zero-copy
+// memory-mapped alternative see MmapBlock; Open selects between them.
 type FileBlock struct {
-	id   int
-	path string
-	n    int64
+	id      int
+	path    string
+	n       int64
+	version uint32
+	summary Summary
+	summOK  bool
 
 	f         *os.File
 	closeOnce sync.Once
-	closeErr  error
 }
 
-// WriteFile writes data to path in the ISLA block format.
-func WriteFile(path string, data []float64) error {
-	f, err := os.Create(path)
+// openFileCommon opens an ISLB file, validates the header, size and (for
+// v2) the footer, and returns the parsed metadata with the open handle.
+func openFileCommon(path string) (f *os.File, version uint32, n int64, sum Summary, hasSum bool, err error) {
+	f, err = os.Open(path)
 	if err != nil {
-		return err
+		return nil, 0, 0, Summary{}, false, err
 	}
-	w := bufio.NewWriterSize(f, 1<<20)
-	if _, err := w.Write(fileMagic[:]); err != nil {
+	fail := func(e error) (*os.File, uint32, int64, Summary, bool, error) {
 		f.Close()
-		return err
+		return nil, 0, 0, Summary{}, false, e
 	}
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(len(data)))
-	if _, err := w.Write(buf[:]); err != nil {
-		f.Close()
-		return err
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return fail(fmt.Errorf("block: reading header of %s: %w", path, err))
 	}
-	for _, v := range data {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		if _, err := w.Write(buf[:]); err != nil {
-			f.Close()
-			return err
+	version, n, err = parseHeader(hdr[:])
+	if err != nil {
+		return fail(fmt.Errorf("block: %s: %w", path, err))
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return fail(err)
+	}
+	if want := fileSize(version, n); st.Size() != want {
+		return fail(fmt.Errorf("block: %s truncated: size %d, want %d", path, st.Size(), want))
+	}
+	if version == FormatV2 {
+		var ft [footerSize]byte
+		if _, err := f.ReadAt(ft[:], headerSize+8*n); err != nil {
+			return fail(fmt.Errorf("block: reading footer of %s: %w", path, err))
 		}
+		sum, err = parseFooter(ft[:])
+		if err != nil {
+			return fail(fmt.Errorf("block: %s: %w", path, err))
+		}
+		if sum.Count != n {
+			return fail(fmt.Errorf("block: %s: footer count %d disagrees with header %d", path, sum.Count, n))
+		}
+		hasSum = true
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return f, version, n, sum, hasSum, nil
 }
 
-// OpenFile opens a block file previously written by WriteFile, validates
-// its header and keeps the handle open for the block's lifetime — one file
+// OpenFile opens a block file previously written by WriteFile on the pread
+// path, validating the header, the size and (for v2 files) the summary
+// footer's CRC. The handle stays open for the block's lifetime — one file
 // descriptor per block, so a store's block count is bounded by the process
 // fd limit (block counts here are normally tens, not thousands; the paper
 // uses b≈10).
 func OpenFile(id int, path string) (*FileBlock, error) {
-	f, err := os.Open(path)
+	f, version, n, sum, hasSum, err := openFileCommon(path)
 	if err != nil {
 		return nil, err
 	}
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(f, hdr[:]); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("block: reading header of %s: %w", path, err)
-	}
-	if [8]byte(hdr[:8]) != fileMagic {
-		f.Close()
-		return nil, fmt.Errorf("block: %s is not an ISLA block file", path)
-	}
-	n := int64(binary.LittleEndian.Uint64(hdr[8:16]))
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	if want := headerSize + 8*n; st.Size() != want {
-		f.Close()
-		return nil, fmt.Errorf("block: %s truncated: size %d, want %d", path, st.Size(), want)
-	}
-	return &FileBlock{id: id, path: path, n: n, f: f}, nil
+	return &FileBlock{id: id, path: path, n: n, version: version,
+		summary: sum, summOK: hasSum, f: f}, nil
 }
 
 // Close releases the block's file handle. Further Scan/Sample calls fail.
-// Safe to call more than once.
+// The first call returns the handle's close error; later calls are no-ops
+// returning nil.
 func (b *FileBlock) Close() error {
-	b.closeOnce.Do(func() { b.closeErr = b.f.Close() })
-	return b.closeErr
+	var err error
+	b.closeOnce.Do(func() { err = b.f.Close() })
+	return err
 }
 
 // ID implements Block.
@@ -113,6 +106,13 @@ func (b *FileBlock) Len() int64 { return b.n }
 
 // Path returns the underlying file path.
 func (b *FileBlock) Path() string { return b.path }
+
+// Version returns the ISLB format version of the backing file.
+func (b *FileBlock) Version() uint32 { return b.version }
+
+// Summary implements Summarized: the exact statistics persisted in the v2
+// footer. ok is false for v1 files, which carry none.
+func (b *FileBlock) Summary() (Summary, bool) { return b.summary, b.summOK }
 
 // Scan implements Block by streaming the value section through a buffered
 // reader layered over the shared handle (positioned reads, so concurrent
@@ -254,9 +254,17 @@ func (b *FileBlock) sampleChunk(r *stats.RNG, dst []float64, sc *fileScratch) er
 
 // WritePartitioned writes data as b block files named <prefix>.000, ... and
 // returns a Store over them, mirroring the paper's "pre-processed and saved
-// in b documents to simulate b blocks" experimental setup. Close the store
-// to release the file handles.
+// in b documents to simulate b blocks" experimental setup. Blocks open in
+// the default mode (memory-mapped where supported); use
+// WritePartitionedMode to force one. Close the store to release the
+// mappings / file handles.
 func WritePartitioned(prefix string, data []float64, b int) (*Store, error) {
+	return WritePartitionedMode(prefix, data, b, ModeAuto)
+}
+
+// WritePartitionedMode is WritePartitioned with an explicit open mode for
+// the blocks of the returned store.
+func WritePartitionedMode(prefix string, data []float64, b int, mode OpenMode) (*Store, error) {
 	if b <= 0 {
 		return nil, fmt.Errorf("block: partition count %d must be positive", b)
 	}
@@ -271,7 +279,7 @@ func WritePartitioned(prefix string, data []float64, b int) (*Store, error) {
 			NewStore(blocks...).Close()
 			return nil, err
 		}
-		fb, err := OpenFile(i, path)
+		fb, err := Open(i, path, mode)
 		if err != nil {
 			NewStore(blocks...).Close()
 			return nil, err

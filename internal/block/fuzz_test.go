@@ -1,0 +1,98 @@
+package block
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzOpenFile throws arbitrary bytes at both open paths. The invariant
+// under fuzz: corrupt input (truncated files, bad magic, bogus counts,
+// broken CRCs) must produce an error, never a panic, and a successful open
+// must yield a block whose advertised length matches what a full scan
+// delivers — no over-read past the value region.
+func FuzzOpenFile(f *testing.F) {
+	// Valid seeds of both generations, plus targeted corruptions.
+	valid := func(version uint32, vals []float64) []byte {
+		dir := f.TempDir()
+		p := filepath.Join(dir, "seed")
+		var err error
+		if version == FormatV1 {
+			err = WriteFileV1(p, vals)
+		} else {
+			err = WriteFile(p, vals)
+		}
+		if err != nil {
+			f.Fatal(err)
+		}
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return raw
+	}
+	v2 := valid(FormatV2, []float64{1, 2, 3, 4})
+	v1 := valid(FormatV1, []float64{1, 2, 3, 4})
+	f.Add(v2)
+	f.Add(v1)
+	f.Add(v2[:len(v2)-5])        // truncated footer
+	f.Add(v2[:headerSize])       // header only
+	f.Add(v2[:3])                // shorter than the magic
+	f.Add([]byte{})              // empty file
+	f.Add([]byte("NOTISLBDATA")) // bad magic
+	crcFlipped := append([]byte(nil), v2...)
+	crcFlipped[len(crcFlipped)-1] ^= 0xFF
+	f.Add(crcFlipped) // corrupt CRC
+	hugeCount := append([]byte(nil), v2...)
+	binary.LittleEndian.PutUint64(hugeCount[8:16], 1<<62) // implausible count
+	f.Add(hugeCount)
+	badVersion := append([]byte(nil), v2...)
+	binary.BigEndian.PutUint32(badVersion[4:8], 99)
+	f.Add(badVersion)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		path := filepath.Join(t.TempDir(), "fuzz.islb")
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		modes := []OpenMode{ModePread}
+		if MmapSupported() {
+			modes = append(modes, ModeMmap)
+		}
+		for _, mode := range modes {
+			b, err := Open(0, path, mode)
+			if err != nil {
+				continue // rejected input is always fine
+			}
+			n := int64(0)
+			if err := b.Scan(func(float64) error { n++; return nil }); err != nil {
+				t.Errorf("mode=%v: accepted file failed to scan: %v", mode, err)
+			} else if n != b.Len() {
+				t.Errorf("mode=%v: Len=%d but scan delivered %d", mode, b.Len(), n)
+			}
+			if sum, ok := BlockSummary(b); ok && sum.Count != b.Len() {
+				t.Errorf("mode=%v: summary count %d != len %d", mode, sum.Count, b.Len())
+			}
+			if c, okc := b.(interface{ Close() error }); okc {
+				c.Close()
+			}
+		}
+	})
+}
+
+// The pure parsers must reject short buffers without reading past them.
+func FuzzParseHeaderFooter(f *testing.F) {
+	hdr := encodeHeader(FormatV2, 123)
+	f.Add(hdr[:])
+	ft := encodeFooter(ComputeSummary([]float64{1, 2, 3}))
+	f.Add(ft[:])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		parseHeader(raw)
+		parseFooter(raw)
+	})
+}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package block
+
+// mmapAvailable reports that this platform has a working mmap(2) shim.
+const mmapAvailable = false
+
+func mmapFile(fd uintptr, length int) ([]byte, error) {
+	return nil, ErrMmapUnsupported
+}
+
+func munmapFile(b []byte) error {
+	return ErrMmapUnsupported
+}

@@ -1,0 +1,20 @@
+//go:build unix
+
+package block
+
+import "syscall"
+
+// mmapAvailable reports that this platform has a working mmap(2) shim.
+const mmapAvailable = true
+
+// mmapFile maps length bytes of the open file read-only and shared: the
+// mapping is a window onto the page cache, so blocks of one file opened by
+// several processes share physical memory.
+func mmapFile(fd uintptr, length int) ([]byte, error) {
+	return syscall.Mmap(int(fd), 0, length, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

@@ -119,3 +119,28 @@ func BenchmarkMomentsAddSlice(b *testing.B) {
 		m.AddSlice(xs)
 	}
 }
+
+func benchMmapBlock(b *testing.B, n int) *MmapBlock {
+	b.Helper()
+	if !MmapSupported() {
+		b.Skip("mmap not supported on this platform")
+	}
+	path := filepath.Join(b.TempDir(), "bench")
+	if err := WriteFile(path, benchData(n)); err != nil {
+		b.Fatal(err)
+	}
+	mb, err := OpenMmap(0, path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { mb.Close() })
+	return mb
+}
+
+func BenchmarkMmapSampleScalar(b *testing.B) {
+	runScalar(b, scalarOnly{benchMmapBlock(b, 1_000_000)})
+}
+
+func BenchmarkMmapSampleBatch(b *testing.B) {
+	runBatch(b, benchMmapBlock(b, 1_000_000))
+}

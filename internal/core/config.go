@@ -80,6 +80,13 @@ type Config struct {
 	// Per-block seeds are derived before dispatch, so the answer is
 	// bit-identical for every setting — Workers is purely a speed knob.
 	Workers int
+	// SummaryPilot serves the pre-estimation from persisted block summaries
+	// (ISLB v2 footers) when every block carries one: sketch0, σ and
+	// min/max are then exact, the pilot draws zero samples and consumes no
+	// RNG state, and on a file store no block is read at all. Stores
+	// without full summaries fall back to the sampled pilot. Default false:
+	// sampled pilots keep answers bit-identical with earlier releases.
+	SummaryPilot bool
 }
 
 // DefaultConfig returns the paper's default experimental parameters.

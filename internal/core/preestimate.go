@@ -24,15 +24,51 @@ type Pilot struct {
 // ErrEmptyStore is returned when an estimator is asked to run on no data.
 var ErrEmptyStore = errors.New("core: empty store")
 
+// summaryPilot builds a pilot from the store's persisted summaries (ISLB
+// v2 footers): sketch0, σ and min/max are exact, PilotSize is zero and no
+// RNG state is consumed. ok is false when any non-empty block lacks a
+// summary — callers then run the sampled pilot instead.
+func summaryPilot(s *block.Store, cfg Config) (Pilot, bool, error) {
+	sum, ok := s.Summary()
+	if !ok || sum.Count == 0 {
+		return Pilot{}, false, nil
+	}
+	sigma := sum.SampleStdDev()
+	rate, m, err := planSize(sigma, cfg, s.TotalLen())
+	if err != nil {
+		return Pilot{}, false, err
+	}
+	return Pilot{
+		Sketch0:    sum.Mean(),
+		Sigma:      sigma,
+		SampleRate: rate,
+		SampleSize: m,
+		PilotSize:  0,
+		RelaxedE:   cfg.RelaxFactor * cfg.Precision,
+		Min:        sum.Min,
+		Max:        sum.Max,
+	}, true, nil
+}
+
 // PreEstimate runs the Pre-estimation module over the store: draws a pilot
 // sample proportional to block sizes, estimates σ and sketch0, and derives
-// the sampling rate from the desired precision (Eq. 1).
+// the sampling rate from the desired precision (Eq. 1). With
+// cfg.SummaryPilot set and every block carrying a persisted summary, the
+// pilot is served from the summaries instead: exact statistics, zero
+// samples drawn, zero blocks touched.
 func PreEstimate(s *block.Store, cfg Config, r *stats.RNG) (Pilot, error) {
 	if err := cfg.Validate(); err != nil {
 		return Pilot{}, err
 	}
 	if s.TotalLen() == 0 {
 		return Pilot{}, ErrEmptyStore
+	}
+	if cfg.SummaryPilot {
+		if p, ok, err := summaryPilot(s, cfg); err != nil {
+			return Pilot{}, err
+		} else if ok {
+			return p, nil
+		}
 	}
 
 	// The pilot runs at the relaxed precision t_e·e so sketch0 carries the
@@ -135,15 +171,46 @@ type BlockPilot struct {
 	Len     int64
 }
 
+// summaryPilotsPerBlock builds the per-block pilot statistics from
+// persisted summaries. ok is false when any non-empty block lacks one.
+func summaryPilotsPerBlock(s *block.Store, cfg Config) ([]BlockPilot, Pilot, bool, error) {
+	pilots := make([]BlockPilot, s.NumBlocks())
+	for i, b := range s.Blocks() {
+		if b.Len() == 0 {
+			continue
+		}
+		sum, ok := block.BlockSummary(b)
+		if !ok {
+			return nil, Pilot{}, false, nil
+		}
+		pilots[i] = BlockPilot{Sketch0: sum.Mean(), Sigma: sum.SampleStdDev(), Len: b.Len()}
+	}
+	overall, ok, err := summaryPilot(s, cfg)
+	if err != nil || !ok {
+		return nil, Pilot{}, false, err
+	}
+	return pilots, overall, true, nil
+}
+
 // PreEstimatePerBlock draws a pilot inside every block and returns the
 // per-block statistics plus the overall sampling rate computed from the
-// pooled pilot (Eq. 1 with the pooled σ).
+// pooled pilot (Eq. 1 with the pooled σ). With cfg.SummaryPilot set and
+// every block carrying a persisted summary, both the per-block and the
+// pooled statistics come from the summaries: exact, zero samples, no RNG
+// consumption — the plan-cache path then freezes a pilot that cost nothing.
 func PreEstimatePerBlock(s *block.Store, cfg Config, r *stats.RNG) ([]BlockPilot, Pilot, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, Pilot{}, err
 	}
 	if s.TotalLen() == 0 {
 		return nil, Pilot{}, ErrEmptyStore
+	}
+	if cfg.SummaryPilot {
+		if pilots, overall, ok, err := summaryPilotsPerBlock(s, cfg); err != nil {
+			return nil, Pilot{}, err
+		} else if ok {
+			return pilots, overall, nil
+		}
 	}
 	relaxed := cfg.RelaxFactor * cfg.Precision
 	pilots := make([]BlockPilot, s.NumBlocks())

@@ -423,6 +423,8 @@ func (e *Engine) frozenPilot(ctx context.Context, cache *plancache.Cache, tbl *T
 		Generation:     tbl.Gen,
 		SampleFraction: cfg.SampleFraction,
 		Seed:           cfg.Seed,
+		SummaryPilot:   cfg.SummaryPilot,
+		SummaryCRC:     tbl.Store.SummaryChecksum(),
 	}
 	return cache.Get(ctx, key, func() (core.FrozenPilot, error) {
 		return core.FreezePilot(tbl.Store, cfg)

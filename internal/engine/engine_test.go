@@ -2,9 +2,11 @@ package engine
 
 import (
 	"math"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"isla/internal/block"
 	"isla/internal/query"
 	"isla/internal/workload"
 )
@@ -168,5 +170,72 @@ func TestSampleFractionPlumbed(t *testing.T) {
 	ratio := float64(third.Samples) / float64(full.Samples)
 	if math.Abs(ratio-0.333) > 0.02 {
 		t.Fatalf("sample ratio = %v, want ~1/3", ratio)
+	}
+}
+
+// The default file path end to end: a store over v2 block files (mmap
+// where supported) served through the engine with summary pilots and the
+// plan cache. The cold query's pilot comes from the persisted footers
+// (zero pilot samples), the warm query skips pre-estimation entirely, and
+// both answers are bit-identical.
+func TestFileStoreSummaryPilotServing(t *testing.T) {
+	mem, truth, err := workload.Normal(100, 20, 100000, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data []float64
+	if err := mem.Scan(func(v float64) error { data = append(data, v); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	s, err := block.WritePartitioned(filepath.Join(t.TempDir(), "col"), data, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	cat := NewCatalog()
+	cat.Register("sales", s)
+	eng := New(cat)
+	cfg := eng.BaseConfig()
+	cfg.SummaryPilot = true
+	eng.SetBaseConfig(cfg)
+	eng.EnablePlanCache(8)
+
+	const q = "SELECT AVG(v) FROM sales WITH PRECISION 0.1 SEED 42"
+	cold, err := eng.ExecuteSQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Detail == nil || cold.Detail.Pilot.PilotSize != 0 {
+		t.Fatalf("cold pilot detail = %+v, want summary-served (size 0)", cold.Detail)
+	}
+	if cold.Detail.PilotCached {
+		t.Fatal("cold query claims a cache hit")
+	}
+	if math.Abs(cold.Value-truth) > 1 {
+		t.Fatalf("estimate %v too far from truth %v", cold.Value, truth)
+	}
+	warm, err := eng.ExecuteSQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Detail.PilotCached {
+		t.Fatal("warm query missed the plan cache")
+	}
+	if math.Float64bits(warm.Value) != math.Float64bits(cold.Value) {
+		t.Fatalf("warm %v != cold %v", warm.Value, cold.Value)
+	}
+
+	// EXACT answers come straight from the persisted summaries.
+	exact, err := eng.ExecuteSQL("SELECT AVG(v) FROM sales METHOD EXACT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, ok := s.Summary()
+	if !ok {
+		t.Fatal("file store has no summary")
+	}
+	if math.Float64bits(exact.Value) != math.Float64bits(sum.Mean()) {
+		t.Fatalf("exact %v, want summary mean %v", exact.Value, sum.Mean())
 	}
 }

@@ -166,7 +166,9 @@ func LoadCSV(path, header string, index int, o Options) (*block.Store, Stats, er
 }
 
 // ConvertTextToBlocks streams a text file into binary block files
-// (prefix.000…), the format the storage layer samples efficiently.
+// (prefix.000…) in the ISLB v2 format — summary footers included, so every
+// later open serves pilot statistics without rescanning — and returns a
+// store over them (memory-mapped where supported).
 func ConvertTextToBlocks(textPath, prefix string, o Options) (*block.Store, Stats, error) {
 	f, err := os.Open(textPath)
 	if err != nil {
@@ -179,6 +181,29 @@ func ConvertTextToBlocks(textPath, prefix string, o Options) (*block.Store, Stat
 	}
 	if len(vals) == 0 {
 		return nil, st, fmt.Errorf("ingest: %s contains no values", textPath)
+	}
+	s, err := block.WritePartitioned(prefix, vals, o.normalize().Blocks)
+	if err != nil {
+		return nil, st, err
+	}
+	return s, st, nil
+}
+
+// ConvertCSVToBlocks reads one numeric CSV column (by header name, or
+// 0-based index when header is "") into binary block files (prefix.000…)
+// in the ISLB v2 format and returns a store over them.
+func ConvertCSVToBlocks(csvPath, header string, index int, prefix string, o Options) (*block.Store, Stats, error) {
+	f, err := os.Open(csvPath)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer f.Close()
+	vals, st, err := ReadCSVColumn(f, header, index, o)
+	if err != nil {
+		return nil, st, err
+	}
+	if len(vals) == 0 {
+		return nil, st, fmt.Errorf("ingest: %s column yields no values", csvPath)
 	}
 	s, err := block.WritePartitioned(prefix, vals, o.normalize().Blocks)
 	if err != nil {

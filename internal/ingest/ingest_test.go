@@ -1,10 +1,13 @@
 package ingest
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"isla/internal/block"
 )
 
 func TestReadValues(t *testing.T) {
@@ -132,5 +135,105 @@ func TestConvertTextToBlocks(t *testing.T) {
 		if _, err := os.Stat(filepath.Join(dir, "blk.00"+string(rune('0'+i)))); err != nil {
 			t.Fatalf("block file %d missing: %v", i, err)
 		}
+	}
+}
+
+// The v2 round-trip contract: converting external data to block files
+// persists summaries that agree, bit for bit, with a direct scan of the
+// resulting store — for text and CSV sources alike.
+func TestConvertRoundTripSummaries(t *testing.T) {
+	dir := t.TempDir()
+
+	var txt, csv strings.Builder
+	txt.WriteString("# header comment\n")
+	csv.WriteString("id,v\n")
+	vals := make([]float64, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		v := float64(i%97)*1.25 - 30
+		vals = append(vals, v)
+		fmt.Fprintf(&txt, "%v\n", v)
+		fmt.Fprintf(&csv, "%d,%v\n", i, v)
+	}
+	txtPath := filepath.Join(dir, "in.txt")
+	csvPath := filepath.Join(dir, "in.csv")
+	if err := os.WriteFile(txtPath, []byte(txt.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(csvPath, []byte(csv.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stores := map[string]*block.Store{}
+	s1, st, err := ConvertTextToBlocks(txtPath, filepath.Join(dir, "t"), Options{Blocks: 4, Comment: "#"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s1.Close() })
+	if st.Values != 1000 {
+		t.Fatalf("text stats %+v", st)
+	}
+	stores["txt"] = s1
+	s2, st, err := ConvertCSVToBlocks(csvPath, "v", 0, filepath.Join(dir, "c"), Options{Blocks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s2.Close() })
+	if st.Values != 1000 {
+		t.Fatalf("csv stats %+v", st)
+	}
+	stores["csv"] = s2
+
+	want := block.ComputeSummary(vals)
+	for name, s := range stores {
+		if s.NumBlocks() != 4 || s.TotalLen() != 1000 {
+			t.Fatalf("%s: store %d/%d", name, s.NumBlocks(), s.TotalLen())
+		}
+		sum, ok := s.Summary()
+		if !ok {
+			t.Fatalf("%s: converted store has no summary", name)
+		}
+		if sum != want {
+			t.Fatalf("%s: persisted summary %+v, want %+v", name, sum, want)
+		}
+		// Per block: footer equals a scan-derived summary of that block.
+		for _, b := range s.Blocks() {
+			persisted, ok := block.BlockSummary(b)
+			if !ok {
+				t.Fatalf("%s: block %d has no summary", name, b.ID())
+			}
+			var scanned block.Summary
+			if err := b.Scan(func(v float64) error {
+				scanned.AddAll([]float64{v})
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if persisted != scanned {
+				t.Fatalf("%s block %d: footer %+v, scan %+v", name, b.ID(), persisted, scanned)
+			}
+		}
+		// The concatenated scan reproduces the source values exactly.
+		i := 0
+		if err := s.Scan(func(v float64) error {
+			if v != vals[i] {
+				t.Fatalf("%s: value %d = %v, want %v", name, i, v, vals[i])
+			}
+			i++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConvertCSVToBlocksErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := ConvertCSVToBlocks(filepath.Join(dir, "missing.csv"), "v", 0, filepath.Join(dir, "x"), Options{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	empty := filepath.Join(dir, "empty.csv")
+	os.WriteFile(empty, []byte("v\n"), 0o644)
+	if _, _, err := ConvertCSVToBlocks(empty, "v", 0, filepath.Join(dir, "x"), Options{}); err == nil {
+		t.Fatal("valueless column accepted")
 	}
 }

@@ -7,10 +7,14 @@
 // same table and seed: the query re-derives its sampling plan from the
 // frozen σ via Eq. (1) and skips the pilot phase entirely.
 //
-// Entries are keyed by (table, catalog generation, sample fraction, seed).
-// The generation changes whenever the catalog replaces a table's store, so
-// a re-registered table can never be served a stale pilot; superseded
-// generations age out of the bounded LRU. Concurrent first queries for the
+// Entries are keyed by (table, catalog generation, sample fraction, seed,
+// summary checksum). The generation changes whenever the catalog replaces
+// a table's store, so a re-registered table can never be served a stale
+// pilot, and the summary checksum binds each entry to the persisted block
+// statistics observed when its store was opened, so a store re-opened
+// over different block files maps to fresh entries even if generation
+// bookkeeping were bypassed; superseded generations age out of the
+// bounded LRU. Concurrent first queries for the
 // same key are single-flighted: one caller runs the pilot, the rest wait
 // and share it.
 package plancache
@@ -37,6 +41,18 @@ type Key struct {
 	// bit-identical-per-seed contract: a hit resumes the exact stream a
 	// cold run with that seed would have produced.
 	Seed uint64
+	// SummaryPilot records which pre-estimation discipline built the
+	// entry: a summary-served pilot consumes no RNG state while a sampled
+	// pilot does, so the two freeze different resume points and must not
+	// share entries.
+	SummaryPilot bool
+	// SummaryCRC fingerprints the store's persisted block summaries
+	// (Store.SummaryChecksum — the folded ISLB v2 footer CRCs captured
+	// when the blocks were opened, 0 for stores without summaries). It
+	// binds an entry to the statistics its pilot was derived from: a
+	// store opened over different block files yields a different key
+	// independent of the catalog's generation accounting.
+	SummaryCRC uint64
 }
 
 // Stats is a snapshot of the cache's counters.

@@ -300,3 +300,36 @@ func TestConcurrentMixedKeys(t *testing.T) {
 		t.Fatalf("len = %d exceeds capacity", c.Len())
 	}
 }
+
+// A changed summary fingerprint (block files swapped under the same table
+// generation) must map to a distinct entry, exactly like a generation bump.
+func TestSummaryCRCMiss(t *testing.T) {
+	c := New(4)
+	builder := func(sigma float64) func() (core.FrozenPilot, error) {
+		return func() (core.FrozenPilot, error) { return pilot(sigma), nil }
+	}
+	k1 := key("t", 1)
+	k1.SummaryCRC = 0xAAAA
+	k2 := k1
+	k2.SummaryCRC = 0xBBBB
+	if _, hit, err := c.Get(ctx, k1, builder(1)); err != nil || hit {
+		t.Fatalf("first build: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := c.Get(ctx, k2, builder(2)); err != nil || hit {
+		t.Fatalf("changed summary served a stale pilot: hit=%v err=%v", hit, err)
+	}
+	fp, hit, err := c.Get(ctx, k1, builder(3))
+	if err != nil || !hit {
+		t.Fatalf("same summary missed: hit=%v err=%v", hit, err)
+	}
+	if fp.Base.Sigma != 1 {
+		t.Fatalf("wrong entry returned: sigma %v", fp.Base.Sigma)
+	}
+	// The pilot discipline participates in the key too: a summary-served
+	// pilot must not resume a sampled pilot's RNG state.
+	k3 := k1
+	k3.SummaryPilot = true
+	if _, hit, err := c.Get(ctx, k3, builder(4)); err != nil || hit {
+		t.Fatalf("summary-pilot key shared a sampled-pilot entry: hit=%v err=%v", hit, err)
+	}
+}

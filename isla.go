@@ -101,13 +101,40 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // Partition splits data into b contiguous, near-equal in-memory blocks.
 func Partition(data []float64, b int) *Store { return block.Partition(data, b) }
 
-// OpenFiles opens previously written binary block files as a store. The
-// file handles stay open for the store's lifetime (sampling and scans use
-// positioned reads on them); call (*Store).Close to release them.
+// OpenMode selects how block files are serviced: ModeMmap maps each file
+// once and samples by direct slice gather (zero syscalls per draw), ModePread
+// uses positioned reads on a shared handle, ModeAuto (the default) maps
+// where the platform supports it and preads elsewhere. Estimates are
+// bit-identical per seed in every mode.
+type OpenMode = block.OpenMode
+
+// Open modes for OpenFilesMode; ModeAuto is what OpenFiles uses.
+const (
+	ModeAuto  = block.ModeAuto
+	ModeMmap  = block.ModeMmap
+	ModePread = block.ModePread
+)
+
+// ParseOpenMode parses the flag spelling of an open mode ("auto", "mmap",
+// "pread").
+func ParseOpenMode(s string) (OpenMode, error) { return block.ParseOpenMode(s) }
+
+// BlockSummary is the exact per-block statistics persisted in ISLB v2
+// block-file footers (count, min, max, Σa, Σa²).
+type BlockSummary = block.Summary
+
+// OpenFiles opens previously written binary block files as a store in the
+// default mode: memory-mapped where the platform supports it, positioned
+// reads elsewhere. Call (*Store).Close to release the mappings/handles.
 func OpenFiles(paths ...string) (*Store, error) {
+	return OpenFilesMode(ModeAuto, paths...)
+}
+
+// OpenFilesMode is OpenFiles with an explicit open mode (mmap | pread).
+func OpenFilesMode(mode OpenMode, paths ...string) (*Store, error) {
 	blocks := make([]block.Block, 0, len(paths))
 	for i, p := range paths {
-		fb, err := block.OpenFile(i, p)
+		fb, err := block.Open(i, p, mode)
 		if err != nil {
 			// Release the handles already opened before reporting.
 			block.NewStore(blocks...).Close()
@@ -118,8 +145,8 @@ func OpenFiles(paths ...string) (*Store, error) {
 	return block.NewStore(blocks...), nil
 }
 
-// WriteFiles writes data as b block files named <prefix>.000… and returns a
-// store over them.
+// WriteFiles writes data as b block files named <prefix>.000… in the ISLB
+// v2 format (summary footers included) and returns a store over them.
 func WriteFiles(prefix string, data []float64, b int) (*Store, error) {
 	return block.WritePartitioned(prefix, data, b)
 }
