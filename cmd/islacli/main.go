@@ -2,8 +2,10 @@
 //
 // Tables come from binary block files (-load name=prefix, expecting files
 // prefix.000, prefix.001, …) or from built-in synthetic generators
-// (-gen "name=normal:mu=100,sigma=20,n=1000000,blocks=10"). Queries are
-// read from -q or line by line from stdin:
+// (-gen "name=normal:mu=100,sigma=20,n=1000000,blocks=10"). Grouped
+// tables come from -gengroup "name=column;key:dist:params;..." or
+// -loadgroup name=manifest.json, and answer GROUP BY / WHERE statements
+// per group. Queries are read from -q or line by line from stdin:
 //
 //	islacli -gen "sales=normal:mu=100,sigma=20,n=1000000,blocks=10" \
 //	        -q "SELECT AVG(v) FROM sales WITH PRECISION 0.1"
@@ -20,14 +22,17 @@ import (
 
 	"isla"
 	"isla/internal/workload"
+	"isla/internal/workload/groupspec"
 )
 
 func main() {
-	var gens, loads, texts, csvs multiFlag
+	var gens, loads, texts, csvs, groupGens, groupLoads multiFlag
 	flag.Var(&gens, "gen", "synthetic table spec name=dist:key=val,... (repeatable)")
 	flag.Var(&loads, "load", "load block files name=prefix (repeatable)")
 	flag.Var(&texts, "txt", "load one-value-per-line text name=path (repeatable)")
 	flag.Var(&csvs, "csv", "load CSV column name=path:column (repeatable)")
+	flag.Var(&groupGens, "gengroup", "synthetic grouped table spec name=column;key:dist:params;... (repeatable)")
+	flag.Var(&groupLoads, "loadgroup", "load a grouped table from its manifest name=manifest.json (repeatable)")
 	clusterAddrs := flag.String("cluster", "", "comma-separated islaworker addresses; runs the query on the cluster as table 'cluster'")
 	q := flag.String("q", "", "execute one query and exit")
 	workers := flag.Int("workers", 0, "exec-runtime concurrency: 0 sequential, -1 one worker per CPU, n as-is; with -cluster, n caps in-flight RPCs (0/-1 = one per block). Answers are identical for any setting")
@@ -65,6 +70,20 @@ func main() {
 			fatal(err)
 		}
 		defer store.Close() // release the block mappings/handles on exit
+	}
+	for _, gg := range groupGens {
+		name, g, err := groupspec.FromSpec(gg)
+		if err != nil {
+			fatal(err)
+		}
+		db.RegisterGrouped(name, g)
+	}
+	for _, gl := range groupLoads {
+		g, err := registerGroupLoad(db, gl, mode)
+		if err != nil {
+			fatal(err)
+		}
+		defer g.Close() // release the block mappings/handles on exit
 	}
 	for _, tl := range texts {
 		if err := registerText(db, tl); err != nil {
@@ -112,6 +131,29 @@ func run(db *isla.DB, sql string) error {
 	if err != nil {
 		return err
 	}
+	if len(res.Groups) > 0 {
+		fmt.Printf("%s GROUP BY %s  [method=%s rows=%d samples=%d time=%s]\n",
+			res.Query.Agg, res.Query.GroupBy, res.Method, res.Rows, res.Samples,
+			res.Duration.Round(10_000))
+		for _, gr := range res.Groups {
+			if gr.Err != "" {
+				fmt.Printf("  %-16q ERROR %s\n", gr.Group, gr.Err)
+				continue
+			}
+			fmt.Printf("  %-16q = %.6f", gr.Group, gr.Value)
+			if gr.CI != nil {
+				fmt.Printf("  (±%.4g at %.0f%% confidence)", gr.CI.HalfWidth, gr.CI.Confidence*100)
+			}
+			if gr.Exact {
+				fmt.Printf("  (exact)")
+			}
+			if gr.Filter != nil {
+				fmt.Printf("  sel=%.3f", gr.Filter.Selectivity)
+			}
+			fmt.Printf("  [rows=%d samples=%d]\n", gr.Rows, gr.Samples)
+		}
+		return nil
+	}
 	fmt.Printf("%s = %.6f", res.Query.Agg, res.Value)
 	if res.CI != nil {
 		fmt.Printf("  (±%.4g at %.0f%% confidence)", res.CI.HalfWidth, res.CI.Confidence*100)
@@ -119,9 +161,27 @@ func run(db *isla.DB, sql string) error {
 	if res.Truncated {
 		fmt.Printf("  TRUNCATED (budget cutoff: partial table coverage)")
 	}
+	if res.Filter != nil {
+		fmt.Printf("  sel=%.3f", res.Filter.Selectivity)
+	}
 	fmt.Printf("  [method=%s rows=%d samples=%d time=%s]\n",
 		res.Method, res.Rows, res.Samples, res.Duration.Round(10_000))
 	return nil
+}
+
+// registerGroupLoad opens a grouped table's manifest in the given open
+// mode and returns the store so the caller can Close it when done.
+func registerGroupLoad(db *isla.DB, spec string, mode isla.OpenMode) (*isla.GroupStore, error) {
+	name, path, ok := strings.Cut(spec, "=")
+	if !ok {
+		return nil, fmt.Errorf("islacli: bad -loadgroup %q (want name=manifest.json)", spec)
+	}
+	g, err := isla.OpenGroupManifest(path, mode)
+	if err != nil {
+		return nil, err
+	}
+	db.RegisterGrouped(name, g)
+	return g, nil
 }
 
 // registerGen materializes a "name=dist:key=val,..." spec (the syntax

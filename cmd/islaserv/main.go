@@ -8,6 +8,10 @@
 //	islaserv -gen "sales=normal:mu=100,sigma=20,n=1000000,blocks=10" -addr :8080
 //	curl -s localhost:8080/query -d '{"sql":"SELECT AVG(v) FROM sales WITH PRECISION 0.1"}'
 //
+// Grouped tables come from -gengroup specs or -loadgroup manifests
+// (written by WriteGroupFiles / group.WriteFiles); GROUP BY and WHERE
+// statements then answer per group with per-group errors in the JSON body.
+//
 // Endpoints: POST /query, GET /tables, GET /healthz, GET /stats. The
 // pilot-plan cache is on by default (-cache 0 or less disables it), so repeat
 // queries on a table skip the pre-estimation pilot; an admission-control
@@ -21,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -33,17 +38,21 @@ import (
 
 	"isla/internal/block"
 	"isla/internal/engine"
+	"isla/internal/group"
 	"isla/internal/ingest"
 	"isla/internal/serve"
 	"isla/internal/workload"
+	"isla/internal/workload/groupspec"
 )
 
 func main() {
-	var gens, texts, csvs, loads multiFlag
+	var gens, texts, csvs, loads, groupGens, groupLoads multiFlag
 	flag.Var(&gens, "gen", "synthetic table spec name=dist:key=val,... (repeatable)")
 	flag.Var(&texts, "txt", "load one-value-per-line text name=path (repeatable)")
 	flag.Var(&csvs, "csv", "load CSV column name=path:column (repeatable)")
 	flag.Var(&loads, "load", "serve binary block files name=prefix (expects prefix.000…; repeatable)")
+	flag.Var(&groupGens, "gengroup", "synthetic grouped table spec name=column;key:dist:params;... (repeatable)")
+	flag.Var(&groupLoads, "loadgroup", "serve a grouped table from its manifest name=manifest.json (repeatable)")
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		blocks   = flag.Int("blocks", 10, "block count for -txt/-csv tables")
@@ -64,7 +73,7 @@ func main() {
 	}
 
 	catalog := engine.NewCatalog()
-	stores, err := loadTables(catalog, gens, texts, csvs, loads, *blocks, mode)
+	stores, err := loadTables(catalog, gens, texts, csvs, loads, groupGens, groupLoads, *blocks, mode)
 	if err != nil {
 		fatal(err)
 	}
@@ -128,13 +137,20 @@ func main() {
 }
 
 // loadTables registers every table spec into the catalog and returns the
-// file-backed stores so the caller can release their mappings/handles on
-// shutdown.
-func loadTables(catalog *engine.Catalog, gens, texts, csvs, loads []string, blocks int, mode block.OpenMode) ([]*block.Store, error) {
+// file-backed stores (plain and grouped) so the caller can release their
+// mappings/handles on shutdown.
+func loadTables(catalog *engine.Catalog, gens, texts, csvs, loads, groupGens, groupLoads []string, blocks int, mode block.OpenMode) ([]io.Closer, error) {
 	for _, g := range gens {
 		if err := registerGen(catalog, g); err != nil {
 			return nil, err
 		}
+	}
+	for _, gg := range groupGens {
+		name, g, err := groupspec.FromSpec(gg)
+		if err != nil {
+			return nil, err
+		}
+		catalog.RegisterGrouped(name, g)
 	}
 	for _, tl := range texts {
 		name, path, ok := strings.Cut(tl, "=")
@@ -162,7 +178,19 @@ func loadTables(catalog *engine.Catalog, gens, texts, csvs, loads []string, bloc
 		}
 		catalog.Register(name, s)
 	}
-	var stores []*block.Store
+	var stores []io.Closer
+	for _, gl := range groupLoads {
+		name, path, ok := strings.Cut(gl, "=")
+		if !ok {
+			return stores, fmt.Errorf("islaserv: bad -loadgroup %q (want name=manifest.json)", gl)
+		}
+		g, err := group.OpenManifest(path, mode)
+		if err != nil {
+			return stores, err
+		}
+		stores = append(stores, g)
+		catalog.RegisterGrouped(name, g)
+	}
 	for _, ld := range loads {
 		name, prefix, ok := strings.Cut(ld, "=")
 		if !ok {

@@ -130,3 +130,108 @@ func TestLoadCSVFacade(t *testing.T) {
 		t.Fatal("missing column accepted")
 	}
 }
+
+func TestGroupedQueryFacade(t *testing.T) {
+	r := stats.NewRNG(21)
+	rows := make([]GroupRow, 0, 90000)
+	for i := 0; i < 30000; i++ {
+		rows = append(rows, GroupRow{Group: "a", Value: 100 + 20*r.NormFloat64()})
+		rows = append(rows, GroupRow{Group: "b", Value: 50 + 10*r.NormFloat64()})
+		rows = append(rows, GroupRow{Group: "c", Value: 200 + 40*r.NormFloat64()})
+	}
+	db := NewDB()
+	if err := db.RegisterGroupedRows("sales", "region", rows, 6); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT AVG(v) FROM sales WHERE v > 40 GROUP BY region WITH PRECISION 0.5 SEED 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 3 {
+		t.Fatalf("groups = %+v", res.Groups)
+	}
+	for _, gr := range res.Groups {
+		if gr.Err != "" {
+			t.Fatalf("group %s: %s", gr.Group, gr.Err)
+		}
+		if gr.CI == nil || gr.Filter == nil {
+			t.Fatalf("group %s missing diagnostics: %+v", gr.Group, gr)
+		}
+	}
+	// Ungrouped statements aggregate the combined view.
+	all, err := db.Query("SELECT COUNT(*) FROM sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Value != 90000 {
+		t.Fatalf("combined count = %v", all.Value)
+	}
+	// GroupAggregate covers the three aggregates directly.
+	cfg := DefaultConfig()
+	cfg.Precision = 1
+	cfg.Seed = 4
+	sums, err := GroupAggregate(rows, 6, AggSUM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := GroupAggregate(rows, 6, AggCOUNT, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sums {
+		if counts[i].Estimate != 30000 {
+			t.Fatalf("count = %+v", counts[i])
+		}
+		if sums[i].Estimate <= 0 {
+			t.Fatalf("sum = %+v", sums[i])
+		}
+	}
+}
+
+// TestGroupFilesFacade: WriteGroupFiles → OpenGroupManifest → grouped
+// queries on the file-backed store, in both open modes, bit-identical to
+// the in-memory registration.
+func TestGroupFilesFacade(t *testing.T) {
+	r := stats.NewRNG(31)
+	rows := make([]GroupRow, 0, 40000)
+	for i := 0; i < 20000; i++ {
+		rows = append(rows, GroupRow{Group: "x", Value: 100 + 20*r.NormFloat64()})
+		rows = append(rows, GroupRow{Group: "y", Value: 10 + 2*r.NormFloat64()})
+	}
+	memDB := NewDB()
+	if err := memDB.RegisterGroupedRows("t", "g", rows, 4); err != nil {
+		t.Fatal(err)
+	}
+	sql := "SELECT AVG(v) FROM t GROUP BY g WITH PRECISION 0.5 SEED 7"
+	want, err := memDB.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	man, err := WriteGroupFiles(t.TempDir(), "g", rows, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []OpenMode{ModePread, ModeMmap} {
+		g, err := OpenGroupManifest(man, mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		db := NewDB()
+		db.RegisterGrouped("t", g)
+		got, err := db.Query(sql)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		for i := range want.Groups {
+			if got.Groups[i].Value != want.Groups[i].Value || got.Groups[i].Samples != want.Groups[i].Samples {
+				t.Errorf("%v group %s: %v/%d != mem %v/%d", mode, got.Groups[i].Group,
+					got.Groups[i].Value, got.Groups[i].Samples,
+					want.Groups[i].Value, want.Groups[i].Samples)
+			}
+		}
+		if err := g.Close(); err != nil {
+			t.Fatalf("%v: close: %v", mode, err)
+		}
+	}
+}

@@ -176,3 +176,22 @@ func parse(t *testing.T, s string) float64 {
 	}
 	return v
 }
+
+func TestGroupedBench(t *testing.T) {
+	stats, err := Grouped(Options{N: 200000, Blocks: 5, Seed: 1, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 || stats[0].Phase != "cold" || stats[1].Phase != "warm" {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[0].Groups != 4 || stats[1].Groups != 4 {
+		t.Fatalf("groups = %+v", stats)
+	}
+	if stats[0].PilotCachedGroups != 0 {
+		t.Fatalf("cold run hit the cache: %+v", stats[0])
+	}
+	if stats[1].PilotCachedGroups != 4 {
+		t.Fatalf("warm run missed the cache: %+v", stats[1])
+	}
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"isla/internal/engine"
+	"isla/internal/group"
+	"isla/internal/stats"
+)
+
+// GroupedStat is one cold-vs-warm measurement of a grouped query: the same
+// GROUP BY statement executed on a cache-enabled engine first with an
+// empty cache (one pilot per group runs) and then against the cached
+// per-group pilots. Warm runs must hit the cache in every group and
+// return identical per-group estimates; the wall-time delta is the pilot
+// work the per-group entries save.
+type GroupedStat struct {
+	Phase             string  `json:"phase"` // "cold" or "warm"
+	Groups            int     `json:"groups"`
+	WallMS            float64 `json:"wall_ms"`
+	TotalSamples      int64   `json:"total_samples"`
+	PilotCachedGroups int     `json:"pilot_cached_groups"`
+}
+
+// groupedStatSpecs shapes the synthetic grouped workload: distinct means
+// so per-group answers are distinguishable, sizes well above the exact
+// fallback threshold.
+var groupedStatSpecs = []struct {
+	key       string
+	mu, sigma float64
+}{
+	{"east", 100, 20},
+	{"west", 50, 10},
+	{"north", 200, 40},
+	{"south", 150, 30},
+}
+
+// Grouped measures grouped execution with the per-group plan cache on one
+// synthetic multi-region workload: one cold GROUP BY query, then o.Runs
+// warm repeats (best wall time reported).
+func Grouped(o Options) ([]GroupedStat, error) {
+	o = o.Defaults()
+	r := stats.NewRNG(o.Seed)
+	perGroup := o.N / len(groupedStatSpecs)
+	rows := make([]group.Row, 0, perGroup*len(groupedStatSpecs))
+	for _, sp := range groupedStatSpecs {
+		d := stats.Normal{Mu: sp.mu, Sigma: sp.sigma}
+		for i := 0; i < perGroup; i++ {
+			rows = append(rows, group.Row{Group: sp.key, Value: d.Sample(r)})
+		}
+	}
+	g, err := group.BuildColumn("region", rows, o.Blocks)
+	if err != nil {
+		return nil, err
+	}
+	cat := engine.NewCatalog()
+	cat.RegisterGrouped("t", g)
+	e := engine.New(cat)
+	e.EnablePlanCache(0)
+	sql := fmt.Sprintf("SELECT AVG(v) FROM t GROUP BY region WITH PRECISION 0.5 SEED %d", o.Seed+9000)
+
+	stat := func(phase string, res engine.Result, wall time.Duration) GroupedStat {
+		gs := GroupedStat{
+			Phase:        phase,
+			Groups:       len(res.Groups),
+			WallMS:       float64(wall.Microseconds()) / 1000,
+			TotalSamples: res.Samples,
+		}
+		for _, gr := range res.Groups {
+			if gr.PilotCached {
+				gs.PilotCachedGroups++
+			}
+		}
+		return gs
+	}
+
+	start := time.Now()
+	cold, err := e.ExecuteSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	out := []GroupedStat{stat("cold", cold, time.Since(start))}
+
+	var warm engine.Result
+	best := time.Duration(-1)
+	for i := 0; i < o.Runs; i++ {
+		start = time.Now()
+		warm, err = e.ExecuteSQL(sql)
+		if err != nil {
+			return nil, err
+		}
+		if wall := time.Since(start); best < 0 || wall < best {
+			best = wall
+		}
+	}
+	for i, gr := range warm.Groups {
+		if gr.Err != "" {
+			return nil, fmt.Errorf("bench: group %s failed: %s", gr.Group, gr.Err)
+		}
+		if !gr.PilotCached {
+			return nil, fmt.Errorf("bench: warm group %s did not hit the plan cache", gr.Group)
+		}
+		if gr.Value != cold.Groups[i].Value {
+			return nil, fmt.Errorf("bench: warm group %s estimate %v differs from cold %v",
+				gr.Group, gr.Value, cold.Groups[i].Value)
+		}
+	}
+	out = append(out, stat("warm", warm, best))
+	return out, nil
+}

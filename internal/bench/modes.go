@@ -35,6 +35,9 @@ type ModesReport struct {
 	// PlanCache is the cold-vs-warm pilot-plan cache comparison; see
 	// PlanCache.
 	PlanCache []PlanCacheStat `json:"plan_cache"`
+	// Grouped is the cold-vs-warm per-group plan cache comparison for a
+	// GROUP BY query; see Grouped.
+	Grouped []GroupedStat `json:"grouped"`
 }
 
 // Modes runs all five execution modes — batch, parallel, online,
@@ -118,6 +121,10 @@ func Modes(o Options) (*ModesReport, error) {
 		return nil, err
 	}
 	rep.PlanCache, err = PlanCache(o)
+	if err != nil {
+		return nil, err
+	}
+	rep.Grouped, err = Grouped(o)
 	if err != nil {
 		return nil, err
 	}

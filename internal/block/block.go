@@ -216,18 +216,14 @@ func (s *Store) PilotSample(r *stats.RNG, m int64, fn func(v float64)) error {
 	})
 }
 
-// PilotSampleChunks is the batched form of PilotSample: quotas are
-// allocated proportionally to block size and each block's draw is serviced
-// chunk-at-a-time through fn (draw order, pooled buffer — fn must not
-// retain the slice). Rounding slack is absorbed by the last non-empty
-// block, so stores with trailing empty blocks still fill the full quota
-// instead of failing with ErrEmptyBlock.
-func (s *Store) PilotSampleChunks(r *stats.RNG, m int64, fn func(vs []float64) error) error {
-	if s.total == 0 {
-		return ErrEmptyBlock
-	}
-	if m <= 0 {
-		return fmt.Errorf("block: pilot sample size %d must be positive", m)
+// Quotas allocates m draws across the store's blocks proportionally to
+// block size (the paper's Pre-estimation sampling discipline): quota_i =
+// ⌊m·|B_i|/M⌋ with the rounding slack absorbed by the last non-empty
+// block, so stores with trailing empty blocks still fill the full quota.
+// Empty blocks get zero. It returns nil when the store is empty or m <= 0.
+func (s *Store) Quotas(m int64) []int64 {
+	if s.total == 0 || m <= 0 {
+		return nil
 	}
 	last := -1
 	for i, b := range s.blocks {
@@ -235,6 +231,7 @@ func (s *Store) PilotSampleChunks(r *stats.RNG, m int64, fn func(vs []float64) e
 			last = i
 		}
 	}
+	quotas := make([]int64, len(s.blocks))
 	remaining := m
 	for i, b := range s.blocks {
 		if b.Len() == 0 {
@@ -250,10 +247,27 @@ func (s *Store) PilotSampleChunks(r *stats.RNG, m int64, fn func(vs []float64) e
 			}
 		}
 		remaining -= quota
+		quotas[i] = quota
+	}
+	return quotas
+}
+
+// PilotSampleChunks is the batched form of PilotSample: quotas are
+// allocated proportionally to block size (see Quotas) and each block's
+// draw is serviced chunk-at-a-time through fn (draw order, pooled buffer —
+// fn must not retain the slice).
+func (s *Store) PilotSampleChunks(r *stats.RNG, m int64, fn func(vs []float64) error) error {
+	if s.total == 0 {
+		return ErrEmptyBlock
+	}
+	if m <= 0 {
+		return fmt.Errorf("block: pilot sample size %d must be positive", m)
+	}
+	for i, quota := range s.Quotas(m) {
 		if quota == 0 {
 			continue
 		}
-		if err := SampleChunks(b, r, quota, fn); err != nil {
+		if err := SampleChunks(s.blocks[i], r, quota, fn); err != nil {
 			return err
 		}
 	}

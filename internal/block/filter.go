@@ -1,0 +1,53 @@
+package block
+
+import "isla/internal/stats"
+
+// FilterChunk compacts vs in place to the values passing pred, preserving
+// draw order, and returns the kept prefix. It backs the filtered sampling
+// fast path: rejection happens after the gather on the already-sampled
+// chunk, so a filtered run consumes exactly the RNG stream of an
+// unfiltered run with the same raw draw count.
+func FilterChunk(vs []float64, pred func(float64) bool) []float64 {
+	k := 0
+	for _, v := range vs {
+		if pred(v) {
+			vs[k] = v
+			k++
+		}
+	}
+	return vs[:k]
+}
+
+// SampleFilteredChunks draws m raw values from b — the same RNG stream as
+// SampleChunks(b, r, m, …) — and delivers only those passing pred,
+// chunk-at-a-time in draw order through fn. It returns the number of
+// accepted values; together with m that gives the caller the sampled
+// acceptance fraction the Horvitz–Thompson correction needs.
+func SampleFilteredChunks(b Block, r *stats.RNG, m int64, pred func(float64) bool, fn func(vs []float64) error) (int64, error) {
+	var accepted int64
+	err := SampleChunks(b, r, m, func(vs []float64) error {
+		kept := FilterChunk(vs, pred)
+		accepted += int64(len(kept))
+		if len(kept) == 0 {
+			return nil
+		}
+		return fn(kept)
+	})
+	return accepted, err
+}
+
+// PilotSampleFilteredChunks is PilotSampleChunks with predicate rejection:
+// m raw draws allocated proportionally across blocks, only accepted values
+// delivered. It returns the accepted count.
+func (s *Store) PilotSampleFilteredChunks(r *stats.RNG, m int64, pred func(float64) bool, fn func(vs []float64) error) (int64, error) {
+	var accepted int64
+	err := s.PilotSampleChunks(r, m, func(vs []float64) error {
+		kept := FilterChunk(vs, pred)
+		accepted += int64(len(kept))
+		if len(kept) == 0 {
+			return nil
+		}
+		return fn(kept)
+	})
+	return accepted, err
+}

@@ -1,0 +1,113 @@
+package block
+
+import (
+	"testing"
+
+	"isla/internal/stats"
+)
+
+func TestFilterChunk(t *testing.T) {
+	vs := []float64{1, -2, 3, -4, 5}
+	kept := FilterChunk(vs, func(v float64) bool { return v > 0 })
+	if len(kept) != 3 || kept[0] != 1 || kept[1] != 3 || kept[2] != 5 {
+		t.Fatalf("kept = %v", kept)
+	}
+	if got := FilterChunk(nil, func(float64) bool { return true }); len(got) != 0 {
+		t.Fatalf("nil chunk kept %v", got)
+	}
+}
+
+// TestSampleFilteredChunksRNGStream: the filtered path must consume
+// exactly the RNG stream of the unfiltered path with the same raw draw
+// count, and deliver the subset of its values that pass the predicate.
+func TestSampleFilteredChunksRNGStream(t *testing.T) {
+	data := make([]float64, 10_000)
+	for i := range data {
+		data[i] = float64(i % 100)
+	}
+	b := NewMemBlock(0, data)
+	pred := func(v float64) bool { return v >= 50 }
+	const m = 40_000 // > ChunkSize, so several chunks
+
+	var raw []float64
+	r1 := stats.NewRNG(7)
+	if err := SampleChunks(b, r1, m, func(vs []float64) error {
+		raw = append(raw, vs...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []float64
+	r2 := stats.NewRNG(7)
+	accepted, err := SampleFilteredChunks(b, r2, m, pred, func(vs []float64) error {
+		got = append(got, vs...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Uint64() != r2.Uint64() {
+		t.Fatal("filtered and unfiltered paths left the RNG in different states")
+	}
+
+	var want []float64
+	for _, v := range raw {
+		if pred(v) {
+			want = append(want, v)
+		}
+	}
+	if accepted != int64(len(want)) || len(got) != len(want) {
+		t.Fatalf("accepted = %d (%d values), want %d", accepted, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if accepted == 0 || accepted == m {
+		t.Fatalf("degenerate acceptance %d of %d", accepted, m)
+	}
+}
+
+func TestPilotSampleFilteredChunks(t *testing.T) {
+	s := Partition([]float64{-1, -2, -3, 4, 5, 6, 7, 8}, 3)
+	r := stats.NewRNG(3)
+	var sum float64
+	acc, err := s.PilotSampleFilteredChunks(r, 1000, func(v float64) bool { return v > 0 }, func(vs []float64) error {
+		for _, v := range vs {
+			if v <= 0 {
+				t.Fatalf("rejected value %v delivered", v)
+			}
+			sum += v
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc == 0 || acc >= 1000 {
+		t.Fatalf("accepted = %d", acc)
+	}
+}
+
+func TestQuotas(t *testing.T) {
+	s := NewStore(NewMemBlock(0, make([]float64, 30)), NewMemBlock(1, nil),
+		NewMemBlock(2, make([]float64, 70)), NewMemBlock(3, nil))
+	q := s.Quotas(100)
+	if len(q) != 4 || q[1] != 0 || q[3] != 0 {
+		t.Fatalf("quotas = %v", q)
+	}
+	if q[0]+q[2] != 100 {
+		t.Fatalf("quotas %v do not sum to 100", q)
+	}
+	if q[0] != 30 { // proportional share; slack goes to the last non-empty block
+		t.Fatalf("quotas = %v", q)
+	}
+	if got := s.Quotas(0); got != nil {
+		t.Fatalf("Quotas(0) = %v", got)
+	}
+	if got := NewStore().Quotas(5); got != nil {
+		t.Fatalf("empty-store quotas = %v", got)
+	}
+}

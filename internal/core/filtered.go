@@ -1,0 +1,340 @@
+// Predicate-filtered estimation: AVG/SUM/COUNT restricted to the rows
+// matching a WHERE conjunction. The sampling fast path stays untouched —
+// the estimator draws the planned raw samples per block exactly as the
+// unfiltered path would (identical RNG stream, SampleInto-level batched
+// gather) and rejects non-matching values after the gather. The sampled
+// acceptance fraction p̂_i of each block corrects the partial answers
+// Horvitz–Thompson style: the block's matching-row mass is estimated as
+// p̂_i·|B_i|, so the combined AVG is the self-normalized ratio
+// Σ mean_i·p̂_i·|B_i| / Σ p̂_i·|B_i|, COUNT is Σ p̂_i·|B_i| and SUM their
+// product — each unbiased in the HT sense under uniform with-replacement
+// block sampling. Per-block seeds are derived before dispatch on the exec
+// runtime, so answers are bit-identical for every worker count.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"isla/internal/block"
+	"isla/internal/exec"
+	"isla/internal/stats"
+)
+
+// ErrNoMatch is returned when sampling (or an exact scan) finds no row
+// satisfying the predicate: the conditional mean is undefined. Callers
+// answering COUNT may map it to zero.
+var ErrNoMatch = errors.New("core: no sampled row satisfies the predicate")
+
+// FilterPilot is the pre-estimation state of a filtered run, frozen for
+// reuse: the conditional statistics of the accepted pilot draws, the
+// observed acceptance fraction, and the RNG state after the pilot consumed
+// its draws. The pilot's raw draw count depends only on the seed, the data
+// and the predicate — never on the per-query precision — so one frozen
+// filter pilot serves every precision/confidence combination on the same
+// table, seed and predicate.
+type FilterPilot struct {
+	// Mean and Sigma are the conditional mean and standard deviation of
+	// the accepted pilot values.
+	Mean, Sigma float64
+	// Selectivity is Accepted/Drawn — the sampled estimate of the
+	// predicate's acceptance probability.
+	Selectivity float64
+	// Drawn and Accepted count the pilot's raw draws and survivors.
+	Drawn, Accepted int64
+	// RNG is the generator state after the pilot's draws; resuming it
+	// yields the exact stream a cold run would use for per-block seeds.
+	RNG stats.RNGState
+	// Blocks and TotalLen record the store shape the pilot was frozen
+	// over; EstimateFilteredFrozen refuses a mismatching store.
+	Blocks   int
+	TotalLen int64
+}
+
+// BlockFilterResult is one block's filtered partial answer.
+type BlockFilterResult struct {
+	BlockID  int
+	Len      int64
+	Drawn    int64   // raw draws serviced by the block
+	Accepted int64   // draws that passed the predicate
+	Mean     float64 // conditional mean of the accepted draws (0 when none)
+}
+
+// FilteredResult is the outcome of a filtered estimation run.
+type FilteredResult struct {
+	// Avg estimates the conditional mean E[v | pred].
+	Avg float64
+	// Sum estimates Σ v·1[pred] over the store (Avg · Count).
+	Sum float64
+	// Count estimates the number of matching rows, Σ p̂_i·|B_i|.
+	Count float64
+	// Selectivity is the calculation phase's overall acceptance fraction.
+	Selectivity float64
+	// CI bounds Avg at the configured confidence.
+	CI stats.ConfidenceInterval
+	// CountCI bounds Count (binomial normal approximation on p̂).
+	CountCI stats.ConfidenceInterval
+	// SumCI bounds Sum: a first-order bound combining the Avg and Count
+	// interval half-widths, conservative by construction.
+	SumCI stats.ConfidenceInterval
+	// Drawn and Accepted count the calculation phase's raw draws and
+	// survivors (the pilot's are in Pilot).
+	Drawn, Accepted int64
+	// Pilot is the pre-estimation that sized the run.
+	Pilot FilterPilot
+	// PilotCached reports the pilot was served from a plan cache.
+	PilotCached bool
+	// PerBlock holds the partial answers in block order.
+	PerBlock []BlockFilterResult
+}
+
+// filterProbeSize is the fixed raw probe that bootstraps the filter pilot,
+// mirroring the unfiltered pilot's probe discipline; filterPilotTarget is
+// the accepted-sample count the second pilot stage aims for. Both are
+// precision-independent by design: the pilot's RNG consumption must
+// depend only on the seed, the data and the predicate so a frozen filter
+// pilot is shareable across precision targets.
+const (
+	filterProbeSize   = 1000
+	filterPilotTarget = 2000
+)
+
+// FreezeFilterPilot runs the filtered pre-estimation from cfg.Seed and
+// captures the post-pilot generator state. Stage one probes a fixed raw
+// draw to see the acceptance fraction and conditional spread; stage two
+// grows the accepted sample to a fixed target, inflating the raw draw
+// count by the observed selectivity. Neither stage depends on the
+// precision or confidence target.
+func FreezeFilterPilot(s *block.Store, cfg Config, pred func(float64) bool) (FilterPilot, error) {
+	if err := cfg.Validate(); err != nil {
+		return FilterPilot{}, err
+	}
+	if pred == nil {
+		return FilterPilot{}, errors.New("core: nil predicate")
+	}
+	if s.TotalLen() == 0 {
+		return FilterPilot{}, ErrEmptyStore
+	}
+	r := stats.NewRNG(cfg.Seed)
+	probe := int64(filterProbeSize)
+	if probe > s.TotalLen() {
+		probe = s.TotalLen()
+	}
+	var pm stats.Moments
+	drawn := probe
+	accepted, err := s.PilotSampleFilteredChunks(r, probe, pred, block.MomentsSink(&pm))
+	if err != nil {
+		return FilterPilot{}, fmt.Errorf("core: filter probe: %w", err)
+	}
+
+	if accepted > 0 {
+		// Stage two grows the accepted sample to a fixed target so σ and
+		// the selectivity stabilize. The target depends only on the data
+		// and the predicate (cfg.PilotSize overrides it) — never on the
+		// per-query precision — so one frozen filter pilot really does
+		// serve every precision/confidence combination and plan-cache
+		// keys need no precision field.
+		want := int64(filterPilotTarget)
+		if cfg.PilotSize > 0 {
+			want = cfg.PilotSize
+		}
+		sel := float64(accepted) / float64(drawn)
+		raw := rawDraws(want, sel, s.TotalLen())
+		if raw > 0 {
+			acc, err := s.PilotSampleFilteredChunks(r, raw, pred, block.MomentsSink(&pm))
+			if err != nil {
+				return FilterPilot{}, fmt.Errorf("core: filter pilot: %w", err)
+			}
+			drawn += raw
+			accepted += acc
+		}
+	}
+	fp := FilterPilot{
+		Selectivity: float64(accepted) / float64(drawn),
+		Drawn:       drawn,
+		Accepted:    accepted,
+		RNG:         r.State(),
+		Blocks:      s.NumBlocks(),
+		TotalLen:    s.TotalLen(),
+	}
+	if accepted > 0 {
+		fp.Mean = pm.Mean()
+		fp.Sigma = pm.SampleStdDev()
+	}
+	return fp, nil
+}
+
+// rawDraws converts a target accepted-sample count into raw draws by
+// inflating with the acceptance fraction, capped at the store size.
+func rawDraws(want int64, selectivity float64, totalLen int64) int64 {
+	if want < 1 {
+		want = 1
+	}
+	rawF := float64(want) / selectivity
+	if !(rawF > 0) || rawF > float64(totalLen) { // selectivity 0 → +Inf → cap
+		return totalLen
+	}
+	return int64(math.Ceil(rawF))
+}
+
+// EstimateFiltered runs the filtered estimator on a store.
+func EstimateFiltered(s *block.Store, cfg Config, pred func(float64) bool) (FilteredResult, error) {
+	return EstimateFilteredContext(context.Background(), s, cfg, pred)
+}
+
+// EstimateFilteredContext is EstimateFiltered with a cancellation context.
+// It freezes a pilot and resumes it, so cold runs and plan-cache hits
+// share one code path and are bit-identical per seed.
+func EstimateFilteredContext(ctx context.Context, s *block.Store, cfg Config, pred func(float64) bool) (FilteredResult, error) {
+	fp, err := FreezeFilterPilot(s, cfg, pred)
+	if err != nil {
+		return FilteredResult{}, err
+	}
+	return EstimateFilteredFrozen(ctx, s, cfg, pred, fp)
+}
+
+// EstimateFilteredFrozen runs the calculation phase from a frozen filter
+// pilot: the raw sampling plan is re-derived for cfg's precision target
+// (Eq. 1 on the conditional σ, inflated by the pilot's selectivity),
+// per-block raw quotas follow the store's proportional allocation, and the
+// blocks execute on the exec runtime with seeds derived from the frozen
+// RNG state — bit-identical for every worker count, and for the freezing
+// seed bit-identical to a cold EstimateFilteredContext run.
+func EstimateFilteredFrozen(ctx context.Context, s *block.Store, cfg Config, pred func(float64) bool, fp FilterPilot) (FilteredResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return FilteredResult{}, err
+	}
+	if pred == nil {
+		return FilteredResult{}, errors.New("core: nil predicate")
+	}
+	if s.TotalLen() == 0 {
+		return FilteredResult{}, ErrEmptyStore
+	}
+	if fp.Blocks != s.NumBlocks() || fp.TotalLen != s.TotalLen() {
+		return FilteredResult{}, fmt.Errorf("core: filter pilot frozen over %d blocks/%d rows, store has %d/%d — frozen from a different store?",
+			fp.Blocks, fp.TotalLen, s.NumBlocks(), s.TotalLen())
+	}
+	if fp.Accepted == 0 {
+		// The pilot saw no matching row: no σ to size a run with. No
+		// calculation phase runs; Drawn reports the pilot's raw draws so
+		// COUNT callers answering zero can still surface the sampling
+		// effort.
+		return FilteredResult{Pilot: fp, Drawn: fp.Drawn}, ErrNoMatch
+	}
+
+	// Eq. (1) for the conditional mean, scaled like the unfiltered plan,
+	// then inflated to raw draws by the pilot's acceptance fraction.
+	want, err := stats.RequiredSampleSize(fp.Sigma, cfg.Precision, cfg.Confidence)
+	if err != nil {
+		return FilteredResult{}, fmt.Errorf("core: filtered sample size: %w", err)
+	}
+	want = int64(float64(want) * cfg.SampleFraction)
+	raw := rawDraws(want, fp.Selectivity, s.TotalLen())
+	if maxRaw := int64(cfg.MaxSampleRate * float64(s.TotalLen())); raw > maxRaw && maxRaw > 0 {
+		raw = maxRaw
+	}
+	if raw < 1 {
+		raw = 1
+	}
+
+	quotas := s.Quotas(raw)
+	blocks := s.Blocks()
+	// Seeds are consumed for quota-bearing blocks only, in block order —
+	// the same stream a sequential loop would draw.
+	r := fp.RNG.RNG()
+	seeds := make([]uint64, len(blocks))
+	for i, q := range quotas {
+		if q > 0 {
+			seeds[i] = r.Uint64()
+		}
+	}
+
+	type blockAcc struct {
+		res BlockFilterResult
+		m   stats.Moments
+	}
+	perBlock, err := exec.Run(ctx, exec.Pool(cfg.Workers), len(blocks),
+		func(_ context.Context, i int) (blockAcc, error) {
+			b := blocks[i]
+			acc := blockAcc{res: BlockFilterResult{BlockID: b.ID(), Len: b.Len()}}
+			if quotas[i] == 0 {
+				return acc, nil
+			}
+			n, err := block.SampleFilteredChunks(b, stats.NewRNG(seeds[i]), quotas[i], pred, block.MomentsSink(&acc.m))
+			if err != nil {
+				return blockAcc{}, fmt.Errorf("core: block %d: %w", b.ID(), err)
+			}
+			acc.res.Drawn = quotas[i]
+			acc.res.Accepted = n
+			acc.res.Mean = acc.m.Mean()
+			return acc, nil
+		})
+	if err != nil {
+		return FilteredResult{}, err
+	}
+
+	out := FilteredResult{Pilot: fp, PerBlock: make([]BlockFilterResult, len(perBlock))}
+	var pooled stats.Moments
+	var count, sum float64
+	for i, acc := range perBlock {
+		out.PerBlock[i] = acc.res
+		out.Drawn += acc.res.Drawn
+		out.Accepted += acc.res.Accepted
+		if acc.res.Drawn == 0 {
+			continue
+		}
+		// Horvitz–Thompson per block: p̂_i·|B_i| matching rows.
+		ci := float64(acc.res.Accepted) / float64(acc.res.Drawn) * float64(acc.res.Len)
+		count += ci
+		sum += acc.res.Mean * ci
+		pooled.Merge(acc.m)
+	}
+	if out.Accepted == 0 {
+		return out, ErrNoMatch
+	}
+	out.Selectivity = float64(out.Accepted) / float64(out.Drawn)
+	out.Count = count
+	out.Avg = sum / count
+	out.Sum = sum
+
+	out.CI, err = stats.MeanCI(out.Avg, pooled.SampleStdDev(), out.Accepted, cfg.Confidence)
+	if err != nil {
+		return FilteredResult{}, err
+	}
+	p := out.Selectivity
+	pci, err := stats.MeanCI(p, math.Sqrt(p*(1-p)), out.Drawn, cfg.Confidence)
+	if err != nil {
+		return FilteredResult{}, err
+	}
+	out.CountCI = stats.ConfidenceInterval{
+		Center:     out.Count,
+		HalfWidth:  pci.HalfWidth * float64(s.TotalLen()),
+		Confidence: cfg.Confidence,
+	}
+	// First-order: |Δ(A·C)| ≤ |C|·ΔA + |A|·ΔC.
+	out.SumCI = stats.ConfidenceInterval{
+		Center:     out.Sum,
+		HalfWidth:  out.Count*out.CI.HalfWidth + math.Abs(out.Avg)*out.CountCI.HalfWidth,
+		Confidence: cfg.Confidence,
+	}
+	return out, nil
+}
+
+// ExactFiltered scans the store and returns the exact matching-row count
+// and sum — the golden truth filtered estimates are judged against, and
+// the METHOD EXACT execution path for filtered queries.
+func ExactFiltered(s *block.Store, pred func(float64) bool) (count int64, sum float64, err error) {
+	if pred == nil {
+		return 0, 0, errors.New("core: nil predicate")
+	}
+	err = s.Scan(func(v float64) error {
+		if pred(v) {
+			count++
+			sum += v
+		}
+		return nil
+	})
+	return count, sum, err
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"isla/internal/block"
+	"isla/internal/stats"
+)
+
+func filteredTestStore(n int, seed uint64) *block.Store {
+	r := stats.NewRNG(seed)
+	d := stats.Normal{Mu: 100, Sigma: 20}
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = d.Sample(r)
+	}
+	return block.Partition(data, 8)
+}
+
+func TestEstimateFilteredMatchesExactWithinCI(t *testing.T) {
+	s := filteredTestStore(400_000, 1)
+	pred := func(v float64) bool { return v > 100 }
+	nExact, sumExact, err := ExactFiltered(s, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactMean := sumExact / float64(nExact)
+
+	cfg := DefaultConfig()
+	cfg.Precision = 0.5
+	cfg.Seed = 11
+	res, err := EstimateFiltered(s, cfg, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3σ-style slack: the CI is calibrated at 95%, one run must land well
+	// inside a tripled interval.
+	if math.Abs(res.Avg-exactMean) > 3*res.CI.HalfWidth {
+		t.Errorf("Avg = %v, exact %v, half-width %v", res.Avg, exactMean, res.CI.HalfWidth)
+	}
+	if math.Abs(res.Count-float64(nExact)) > 3*res.CountCI.HalfWidth {
+		t.Errorf("Count = %v, exact %d, half-width %v", res.Count, nExact, res.CountCI.HalfWidth)
+	}
+	if math.Abs(res.Sum-sumExact) > 3*res.SumCI.HalfWidth {
+		t.Errorf("Sum = %v, exact %v, half-width %v", res.Sum, sumExact, res.SumCI.HalfWidth)
+	}
+	if res.Selectivity < 0.4 || res.Selectivity > 0.6 {
+		t.Errorf("selectivity = %v, want ≈ 0.5", res.Selectivity)
+	}
+	if res.Avg <= 100 {
+		t.Errorf("conditional mean %v not above the threshold", res.Avg)
+	}
+}
+
+// TestEstimateFilteredWorkerInvariance: the answer must be bit-identical
+// for every worker count — seeds are derived before dispatch.
+func TestEstimateFilteredWorkerInvariance(t *testing.T) {
+	s := filteredTestStore(100_000, 2)
+	pred := func(v float64) bool { return v < 110 }
+	var base FilteredResult
+	for i, workers := range []int{0, 1, 4, -1} {
+		cfg := DefaultConfig()
+		cfg.Precision = 1
+		cfg.Seed = 5
+		cfg.Workers = workers
+		res, err := EstimateFiltered(s, cfg, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			base = res
+			continue
+		}
+		if res.Avg != base.Avg || res.Count != base.Count || res.Sum != base.Sum ||
+			res.Drawn != base.Drawn || res.Accepted != base.Accepted {
+			t.Fatalf("workers=%d: %+v != %+v", workers, res, base)
+		}
+		if !reflect.DeepEqual(res.PerBlock, base.PerBlock) {
+			t.Fatalf("workers=%d: per-block results differ", workers)
+		}
+	}
+}
+
+// TestEstimateFilteredFrozenMatchesCold: resuming a frozen filter pilot
+// reproduces the cold run exactly, and serves other precision targets.
+func TestEstimateFilteredFrozenMatchesCold(t *testing.T) {
+	s := filteredTestStore(100_000, 3)
+	pred := func(v float64) bool { return v >= 90 }
+	cfg := DefaultConfig()
+	cfg.Precision = 0.8
+	cfg.Seed = 21
+
+	cold, err := EstimateFiltered(s, cfg, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := FreezeFilterPilot(s, cfg, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := EstimateFilteredFrozen(t.Context(), s, cfg, pred, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Avg != cold.Avg || warm.Count != cold.Count || warm.Drawn != cold.Drawn {
+		t.Fatalf("warm %+v != cold %+v", warm, cold)
+	}
+	// A different precision re-derives the plan from the same pilot.
+	cfg2 := cfg
+	cfg2.Precision = 2
+	loose, err := EstimateFilteredFrozen(t.Context(), s, cfg2, pred, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Drawn >= warm.Drawn {
+		t.Fatalf("looser precision drew %d raw samples, tight drew %d", loose.Drawn, warm.Drawn)
+	}
+}
+
+func TestEstimateFilteredNoMatch(t *testing.T) {
+	s := filteredTestStore(10_000, 4)
+	pred := func(v float64) bool { return v > 1e9 }
+	cfg := DefaultConfig()
+	cfg.Seed = 9
+	_, err := EstimateFiltered(s, cfg, pred)
+	if err != ErrNoMatch {
+		t.Fatalf("err = %v, want ErrNoMatch", err)
+	}
+}
+
+func TestEstimateFilteredValidation(t *testing.T) {
+	s := filteredTestStore(1000, 5)
+	if _, err := EstimateFiltered(s, DefaultConfig(), nil); err == nil {
+		t.Error("nil predicate accepted")
+	}
+	bad := DefaultConfig()
+	bad.Precision = -1
+	if _, err := EstimateFiltered(s, bad, func(float64) bool { return true }); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := EstimateFiltered(block.NewStore(), DefaultConfig(), func(float64) bool { return true }); err != ErrEmptyStore {
+		t.Error("empty store accepted")
+	}
+}
+
+func TestExactFiltered(t *testing.T) {
+	s := block.Partition([]float64{1, 2, 3, 4, 5}, 2)
+	n, sum, err := ExactFiltered(s, func(v float64) bool { return v >= 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || sum != 12 {
+		t.Fatalf("n=%d sum=%v", n, sum)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"isla/internal/baseline"
 	"isla/internal/block"
 	"isla/internal/core"
+	"isla/internal/group"
 	"isla/internal/leverage"
 	"isla/internal/plancache"
 	"isla/internal/query"
@@ -30,6 +31,10 @@ import (
 type Table struct {
 	Name  string
 	Store *block.Store
+	// Groups holds the per-group stores of a grouped table (nil for plain
+	// tables). For grouped tables Store is the combined view over every
+	// group's blocks, so ungrouped queries keep working.
+	Groups *group.Store
 	// Gen is the catalog-wide registration counter at the moment this
 	// table version was registered. Caches key derived state (pilot
 	// plans) by it so a replaced store can never serve stale state.
@@ -60,6 +65,20 @@ func (c *Catalog) Register(name string, store *block.Store) {
 	c.mu.Unlock()
 	// Hooks run outside the lock: generation keying already guarantees
 	// coherence, hooks only reclaim derived state promptly.
+	for _, fn := range hooks {
+		fn(name)
+	}
+}
+
+// RegisterGrouped adds or replaces a grouped table: GROUP BY queries run
+// per group, ungrouped queries aggregate the combined view. Like Register,
+// every registration bumps the generation counter and fires the hooks.
+func (c *Catalog) RegisterGrouped(name string, g *group.Store) {
+	c.mu.Lock()
+	c.gen++
+	c.tables[name] = &Table{Name: name, Store: g.Combined(), Groups: g, Gen: c.gen}
+	hooks := c.hooks
+	c.mu.Unlock()
 	for _, fn := range hooks {
 		fn(name)
 	}
@@ -114,6 +133,40 @@ type Result struct {
 	// Truncated reports that a time-budgeted run hit its hard wall-clock
 	// cutoff: the answer covers only a prefix of the table's blocks.
 	Truncated bool
+	// Groups holds the per-group answers of a GROUP BY query, sorted by
+	// group key; Value is then unset and Samples sums across groups. A
+	// group that failed carries Err and zero values — its siblings still
+	// answer.
+	Groups []GroupResult
+	// Filter carries the selectivity diagnostics of a WHERE query.
+	Filter *FilterInfo
+}
+
+// GroupResult is one group's answer within a grouped query.
+type GroupResult struct {
+	Group string
+	Value float64
+	CI    *stats.ConfidenceInterval
+	// Rows is the group's size |B_g| (its unfiltered row count).
+	Rows    int64
+	Samples int64
+	// Exact reports the value was computed by scan/metadata, not sampled.
+	Exact bool
+	// PilotCached reports this group's pre-estimation came from the plan
+	// cache.
+	PilotCached bool
+	// Err is the group's failure, "" on success.
+	Err string
+	// Filter carries the group's selectivity diagnostics under WHERE.
+	Filter *FilterInfo
+}
+
+// FilterInfo summarizes predicate rejection sampling: how many raw draws
+// the run consumed, how many passed, and the estimated selectivity.
+type FilterInfo struct {
+	Drawn       int64
+	Accepted    int64
+	Selectivity float64
 }
 
 // Engine executes queries against a catalog with a base ISLA configuration
@@ -132,12 +185,16 @@ type Engine struct {
 	mu   sync.RWMutex
 	base core.Config
 
-	cache     atomic.Pointer[plancache.Cache]
-	hookOnce  sync.Once
-	inFlight  atomic.Int64
-	served    atomic.Int64
-	perTable  sync.Map // table name → *atomic.Int64 query counts
-	statsFrom time.Time
+	cache atomic.Pointer[plancache.Cache]
+	// groupExact mirrors group.Options.ExactThreshold for SQL GROUP BY
+	// execution: 0 means group.DefaultExactThreshold, negative disables
+	// the fallback.
+	groupExact atomic.Int64
+	hookOnce   sync.Once
+	inFlight   atomic.Int64
+	served     atomic.Int64
+	perTable   sync.Map // table name → *atomic.Int64 query counts
+	statsFrom  time.Time
 }
 
 // New returns an engine over catalog with the paper's default config.
@@ -168,6 +225,20 @@ func (e *Engine) SetWorkers(n int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.base.Workers = n
+}
+
+// SetGroupExactThreshold sets the small-group exact fallback for GROUP BY
+// execution: groups with at most n rows are scanned exactly instead of
+// sampled — mirroring group.Options.ExactThreshold, so both paths return
+// the same values (the engine keeps its own convention of reporting zero
+// samples for exact answers). Zero (the default) means
+// group.DefaultExactThreshold; negative disables the fallback.
+func (e *Engine) SetGroupExactThreshold(n int64) { e.groupExact.Store(n) }
+
+// groupExactThreshold resolves the zero/negative conventions through the
+// group package's own rule, so the two paths cannot drift.
+func (e *Engine) groupExactThreshold() int64 {
+	return group.Options{ExactThreshold: e.groupExact.Load()}.Threshold()
 }
 
 // EnablePlanCache attaches a pilot-plan cache of the given capacity
@@ -269,40 +340,62 @@ func (e *Engine) ExecuteContext(ctx context.Context, q query.Query) (Result, err
 	defer e.inFlight.Add(-1)
 	start := time.Now()
 	res := Result{Query: q, Method: q.Method, Rows: tbl.Store.TotalLen()}
+	cfg := e.queryConfig(q)
+	pred := query.Filter(q.Predicates)
+	fingerprint := query.PredicateString(q.Predicates)
 
-	// COUNT is exact from metadata regardless of method.
-	if q.Agg == query.COUNT {
-		res.Value = float64(tbl.Store.TotalLen())
+	if q.GroupBy != "" {
+		gs := tbl.Groups
+		if gs == nil {
+			return Result{}, fmt.Errorf("engine: table %q is not grouped; register it with RegisterGrouped to GROUP BY", q.Table)
+		}
+		if col := gs.Column(); col != "" && q.GroupBy != col {
+			return Result{}, fmt.Errorf("engine: unknown group column %q on table %q (group column is %q)", q.GroupBy, q.Table, col)
+		}
+		for _, key := range gs.Groups() {
+			s, err := gs.Group(key)
+			if err != nil {
+				return Result{}, err // unreachable: keys come from the store
+			}
+			p, err := e.aggregateStore(ctx, q, cfg, tbl, true, key, s, pred, fingerprint)
+			if err != nil {
+				// Cancellation aborts the whole query; any other failure is
+				// confined to its group so the siblings still answer.
+				if ctx.Err() != nil {
+					return Result{}, err
+				}
+				res.Groups = append(res.Groups, GroupResult{Group: key, Rows: s.TotalLen(), Err: err.Error()})
+				continue
+			}
+			res.Groups = append(res.Groups, GroupResult{
+				Group: key, Value: p.value, CI: p.ci, Rows: s.TotalLen(),
+				Samples: p.samples, Exact: p.exact, PilotCached: p.cached, Filter: p.filter,
+			})
+			res.Samples += p.samples
+		}
 		res.Duration = time.Since(start)
 		e.countQuery(tbl.Name)
 		return res, nil
 	}
 
-	avg, err := e.average(ctx, q, tbl, &res)
+	p, err := e.aggregateStore(ctx, q, cfg, tbl, false, "", tbl.Store, pred, fingerprint)
 	if err != nil {
 		return Result{}, err
 	}
-	e.countQuery(tbl.Name)
-	res.Value = avg
-	if q.Agg == query.SUM {
-		// SUM = AVG · M (§VII-D); the CI half-width scales by M too.
-		res.Value = avg * float64(tbl.Store.TotalLen())
-		if res.CI != nil {
-			ci := *res.CI
-			ci.Center = res.Value
-			ci.HalfWidth *= float64(tbl.Store.TotalLen())
-			res.CI = &ci
-		}
-	}
+	res.Value = p.value
+	res.CI = p.ci
+	res.Samples = p.samples
+	res.Detail = p.detail
+	res.Truncated = p.truncated
+	res.Filter = p.filter
 	res.Duration = time.Since(start)
+	e.countQuery(tbl.Name)
 	return res, nil
 }
 
-// average dispatches the AVG computation to the selected estimator. The
-// per-query overrides land in a derived copy of the base config, so no
-// engine state is written during execution.
-func (e *Engine) average(ctx context.Context, q query.Query, tbl *Table, res *Result) (float64, error) {
-	s := tbl.Store
+// queryConfig lands the per-query overrides in a derived copy of the base
+// config, so no engine state is written during execution.
+func (e *Engine) queryConfig(q query.Query) core.Config {
 	cfg := e.BaseConfig()
 	if q.Precision > 0 {
 		cfg.Precision = q.Precision
@@ -316,10 +409,136 @@ func (e *Engine) average(ctx context.Context, q query.Query, tbl *Table, res *Re
 	if q.HasSeed {
 		cfg.Seed = q.Seed
 	}
+	return cfg
+}
 
+// partial is one store's answer — the whole table or a single group —
+// before it is folded into the Result shape.
+type partial struct {
+	value     float64
+	ci        *stats.ConfidenceInterval
+	samples   int64
+	detail    *core.Result
+	truncated bool
+	exact     bool
+	cached    bool
+	filter    *FilterInfo
+}
+
+// filterInfo extracts the selectivity diagnostics of a filtered run.
+func filterInfo(fr core.FilteredResult) *FilterInfo {
+	return &FilterInfo{Drawn: fr.Drawn, Accepted: fr.Accepted, Selectivity: fr.Selectivity}
+}
+
+// aggregateStore executes q's aggregate on one store — the whole table or
+// one group of it; grouped+groupKey participate in the plan-cache keys so
+// every group freezes its own pilot (and the empty group key never
+// collides with the table-level entry). Predicates arrive pre-compiled
+// with their canonical fingerprint. Small groups fall back to exact
+// computation like group.Aggregate does — sampling a 50-row group buys
+// nothing — under the engine's group-exact threshold.
+func (e *Engine) aggregateStore(ctx context.Context, q query.Query, cfg core.Config, tbl *Table, grouped bool, groupKey string, s *block.Store, pred func(float64) bool, fingerprint string) (partial, error) {
+	M := s.TotalLen()
+	exact := q.Method == query.MethodExact
+	if grouped && !exact && q.Method == query.MethodISLA {
+		if thr := e.groupExactThreshold(); thr > 0 && M <= thr {
+			exact = true
+		}
+	}
+
+	// COUNT: exact from metadata when unfiltered; under a predicate it is
+	// an estimated selectivity count (Horvitz–Thompson p̂·M) unless an
+	// exact scan is asked for (or the group is small).
+	if q.Agg == query.COUNT {
+		if pred == nil {
+			return partial{value: float64(M), exact: true}, nil
+		}
+		if exact {
+			n, _, err := core.ExactFiltered(s, pred)
+			if err != nil {
+				return partial{}, err
+			}
+			return partial{value: float64(n), exact: true}, nil
+		}
+		fr, err := e.filtered(ctx, cfg, tbl, grouped, groupKey, s, pred, fingerprint)
+		if errors.Is(err, core.ErrNoMatch) {
+			// No sampled row matched: the count estimate is zero.
+			return partial{value: 0, samples: fr.Drawn, cached: fr.PilotCached,
+				filter: &FilterInfo{Drawn: fr.Drawn}}, nil
+		}
+		if err != nil {
+			return partial{}, err
+		}
+		ci := fr.CountCI
+		return partial{value: fr.Count, ci: &ci, samples: fr.Drawn,
+			cached: fr.PilotCached, filter: filterInfo(fr)}, nil
+	}
+
+	// Filtered AVG/SUM: rejection sampling with HT correction, or an exact
+	// filtered scan (METHOD EXACT or a small group).
+	if pred != nil {
+		if exact {
+			n, sum, err := core.ExactFiltered(s, pred)
+			if err != nil {
+				return partial{}, err
+			}
+			if n == 0 {
+				return partial{}, core.ErrNoMatch
+			}
+			v := sum / float64(n)
+			if q.Agg == query.SUM {
+				v = sum
+			}
+			return partial{value: v, exact: true}, nil
+		}
+		fr, err := e.filtered(ctx, cfg, tbl, grouped, groupKey, s, pred, fingerprint)
+		if err != nil {
+			return partial{}, err
+		}
+		p := partial{samples: fr.Drawn, cached: fr.PilotCached, filter: filterInfo(fr)}
+		if q.Agg == query.SUM {
+			ci := fr.SumCI
+			p.value, p.ci = fr.Sum, &ci
+		} else {
+			ci := fr.CI
+			p.value, p.ci = fr.Avg, &ci
+		}
+		return p, nil
+	}
+
+	var avg float64
+	var p partial
+	var err error
+	if exact {
+		avg, err = s.ExactMean()
+		p = partial{exact: true}
+	} else {
+		avg, p, err = e.average(ctx, q, cfg, tbl, grouped, groupKey, s)
+	}
+	if err != nil {
+		return partial{}, err
+	}
+	p.value = avg
+	if q.Agg == query.SUM {
+		// SUM = AVG · M (§VII-D); the CI half-width scales by M too.
+		p.value = avg * float64(M)
+		if p.ci != nil {
+			ci := *p.ci
+			ci.Center = p.value
+			ci.HalfWidth *= float64(M)
+			p.ci = &ci
+		}
+	}
+	return p, nil
+}
+
+// average dispatches the unfiltered AVG computation to the selected
+// estimator on one store.
+func (e *Engine) average(ctx context.Context, q query.Query, cfg core.Config, tbl *Table, grouped bool, groupKey string, s *block.Store) (float64, partial, error) {
 	switch q.Method {
 	case query.MethodExact:
-		return s.ExactMean()
+		v, err := s.ExactMean()
+		return v, partial{exact: true}, err
 
 	case query.MethodISLA:
 		if q.TimeBudget > 0 {
@@ -327,9 +546,9 @@ func (e *Engine) average(ctx context.Context, q query.Query, tbl *Table, res *Re
 			var opts timebound.Options
 			var hit bool
 			if cache := e.cache.Load(); cache != nil {
-				fp, h, err := e.frozenPilot(ctx, cache, tbl, cfg)
+				fp, h, err := e.frozenPilot(ctx, cache, tbl, grouped, groupKey, s, cfg)
 				if err != nil {
-					return 0, err
+					return 0, partial{}, err
 				}
 				opts.Frozen = &fp
 				hit = h
@@ -337,50 +556,41 @@ func (e *Engine) average(ctx context.Context, q query.Query, tbl *Table, res *Re
 			tb, err := timebound.EstimateContext(ctx, s, cfg,
 				time.Duration(q.TimeBudget*float64(time.Second)), opts)
 			if err != nil {
-				return 0, err
+				return 0, partial{}, err
 			}
 			tb.Result.PilotCached = hit
-			res.CI = &tb.CI
-			res.Samples = tb.TotalSamples
-			res.Detail = &tb.Result
-			res.Truncated = tb.Truncated
-			return tb.Estimate, nil
+			return tb.Estimate, partial{ci: &tb.CI, samples: tb.TotalSamples,
+				detail: &tb.Result, truncated: tb.Truncated, cached: hit}, nil
 		}
 		if cache := e.cache.Load(); cache != nil {
-			fp, hit, err := e.frozenPilot(ctx, cache, tbl, cfg)
+			fp, hit, err := e.frozenPilot(ctx, cache, tbl, grouped, groupKey, s, cfg)
 			if err != nil {
-				return 0, err
+				return 0, partial{}, err
 			}
 			out, err := core.EstimateFrozen(ctx, s, cfg, fp)
 			if err != nil {
-				return 0, err
+				return 0, partial{}, err
 			}
 			out.PilotCached = hit
-			res.CI = &out.CI
-			res.Samples = out.TotalSamples
-			res.Detail = &out
-			return out.Estimate, nil
+			return out.Estimate, partial{ci: &out.CI, samples: out.TotalSamples,
+				detail: &out, cached: hit}, nil
 		}
 		out, err := core.EstimateContext(ctx, s, cfg)
 		if err != nil {
-			return 0, err
+			return 0, partial{}, err
 		}
-		res.CI = &out.CI
-		res.Samples = out.TotalSamples
-		res.Detail = &out
-		return out.Estimate, nil
+		return out.Estimate, partial{ci: &out.CI, samples: out.TotalSamples, detail: &out}, nil
 
 	case query.MethodUS, query.MethodSTS, query.MethodMV, query.MethodMVB:
 		r := stats.NewRNG(cfg.Seed)
 		pilot, err := core.PreEstimate(s, cfg, r)
 		if err != nil {
-			return 0, err
+			return 0, partial{}, err
 		}
 		m := pilot.SampleSize
-		res.Samples = m
 		ci, err := stats.MeanCI(0, pilot.Sigma, m, cfg.Confidence)
 		if err != nil {
-			return 0, err
+			return 0, partial{}, err
 		}
 		var v float64
 		switch q.Method {
@@ -398,35 +608,73 @@ func (e *Engine) average(ctx context.Context, q query.Query, tbl *Table, res *Re
 			}
 		}
 		if err != nil {
-			return 0, err
+			return 0, partial{}, err
 		}
 		ci.Center = v
-		res.CI = &ci
-		return v, nil
+		return v, partial{ci: &ci, samples: m}, nil
 
 	default:
-		return 0, errors.New("engine: unsupported method")
+		return 0, partial{}, errors.New("engine: unsupported method")
 	}
 }
 
 // frozenPilot fetches (or builds, single-flighted) the frozen
-// pre-estimation for the table version and config. The pilot's RNG
-// consumption depends only on the seed and the blocks' sizes; precision,
-// confidence and sample fraction are re-derived per query via
-// RederivePilot, so one pilot serves every precision target. The sample
-// fraction still participates in the key so cache entries map one-to-one
-// onto distinct sampling plans (at the cost of one extra pilot per
-// fraction in use).
-func (e *Engine) frozenPilot(ctx context.Context, cache *plancache.Cache, tbl *Table, cfg core.Config) (core.FrozenPilot, bool, error) {
+// pre-estimation for one store of the table version and config — the whole
+// table or, for grouped tables, a single group (groupKey keys the entry).
+// The pilot's RNG consumption depends only on the seed and the blocks'
+// sizes; precision, confidence and sample fraction are re-derived per
+// query via RederivePilot, so one pilot serves every precision target. The
+// sample fraction still participates in the key so cache entries map
+// one-to-one onto distinct sampling plans (at the cost of one extra pilot
+// per fraction in use).
+func (e *Engine) frozenPilot(ctx context.Context, cache *plancache.Cache, tbl *Table, grouped bool, groupKey string, s *block.Store, cfg core.Config) (core.FrozenPilot, bool, error) {
 	key := plancache.Key{
 		Table:          tbl.Name,
 		Generation:     tbl.Gen,
 		SampleFraction: cfg.SampleFraction,
 		Seed:           cfg.Seed,
 		SummaryPilot:   cfg.SummaryPilot,
-		SummaryCRC:     tbl.Store.SummaryChecksum(),
+		SummaryCRC:     s.SummaryChecksum(),
+		Grouped:        grouped,
+		Group:          groupKey,
 	}
-	return cache.Get(ctx, key, func() (core.FrozenPilot, error) {
-		return core.FreezePilot(tbl.Store, cfg)
+	v, hit, err := cache.Get(ctx, key, func() (any, error) {
+		return core.FreezePilot(s, cfg)
 	})
+	if err != nil {
+		return core.FrozenPilot{}, false, err
+	}
+	return v.(core.FrozenPilot), hit, nil
+}
+
+// filtered runs the predicate-filtered estimator on one store, through the
+// plan cache when one is attached: the frozen filter pilot (conditional σ,
+// observed selectivity, post-pilot RNG state) is cached per table version,
+// group, seed, sample fraction and predicate fingerprint, so a warm
+// filtered query skips its pilot entirely and answers bit-identically.
+func (e *Engine) filtered(ctx context.Context, cfg core.Config, tbl *Table, grouped bool, groupKey string, s *block.Store, pred func(float64) bool, fingerprint string) (core.FilteredResult, error) {
+	cache := e.cache.Load()
+	if cache == nil {
+		return core.EstimateFilteredContext(ctx, s, cfg, pred)
+	}
+	key := plancache.Key{
+		Table:          tbl.Name,
+		Generation:     tbl.Gen,
+		SampleFraction: cfg.SampleFraction,
+		Seed:           cfg.Seed,
+		SummaryPilot:   cfg.SummaryPilot,
+		SummaryCRC:     s.SummaryChecksum(),
+		Grouped:        grouped,
+		Group:          groupKey,
+		Predicate:      fingerprint,
+	}
+	v, hit, err := cache.Get(ctx, key, func() (any, error) {
+		return core.FreezeFilterPilot(s, cfg, pred)
+	})
+	if err != nil {
+		return core.FilteredResult{}, err
+	}
+	fr, err := core.EstimateFilteredFrozen(ctx, s, cfg, pred, v.(core.FilterPilot))
+	fr.PilotCached = hit
+	return fr, err
 }

@@ -1,18 +1,29 @@
-// Package group implements approximate GROUP BY AVG aggregation, the
-// extension the paper names in §VII-D. Rows are (group key, value) pairs;
-// each group becomes its own block store (partitioned across the original
-// blocks so per-group partial answers still exist) and ISLA runs per group,
-// sharing one configuration. Small groups fall back to exact computation —
-// sampling a 50-row group buys nothing.
+// Package group implements approximate GROUP BY aggregation, the extension
+// the paper names in §VII-D. Rows are (group key, value) pairs; each group
+// becomes its own block store (partitioned across blocks so per-group
+// partial answers still exist) and ISLA runs per group, sharing one
+// configuration. All three aggregates are supported — AVG per group, SUM
+// as AVG·|group| and COUNT exact from metadata — and small groups fall
+// back to exact computation: sampling a 50-row group buys nothing.
+//
+// Grouped tables live either in memory (Build over rows) or on disk as
+// per-group partitioned ISLB files described by a manifest (WriteFiles /
+// OpenManifest), so mmap- and pread-backed blocks with persisted summary
+// footers serve grouped queries — including SummaryPilot pre-estimation —
+// exactly like ungrouped ones.
 package group
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 
 	"isla/internal/block"
 	"isla/internal/core"
+	"isla/internal/stats"
 )
 
 // Row is one (group, value) observation.
@@ -21,15 +32,49 @@ type Row struct {
 	Value float64
 }
 
-// Store is a grouped column: one block store per group key.
+// Store is a grouped column: one block store per group key, plus a
+// combined view over every block for ungrouped queries on the same table.
 type Store struct {
-	groups map[string]*block.Store
-	total  int64
+	column   string
+	groups   map[string]*block.Store
+	keys     []string // sorted
+	total    int64
+	combined *block.Store
 }
 
-// Build partitions rows into per-group stores with the given block count
-// per group.
+// NewStore assembles a grouped store from per-group block stores. column
+// names the group column a SQL GROUP BY must reference ("" accepts any).
+// The empty string is a valid group key.
+func NewStore(column string, groups map[string]*block.Store) (*Store, error) {
+	if len(groups) == 0 {
+		return nil, errors.New("group: no groups")
+	}
+	g := &Store{column: column, groups: groups, keys: make([]string, 0, len(groups))}
+	for k := range groups {
+		g.keys = append(g.keys, k)
+	}
+	sort.Strings(g.keys)
+	blocks := make([]block.Block, 0, len(groups))
+	for _, k := range g.keys {
+		s := groups[k]
+		g.total += s.TotalLen()
+		for _, b := range s.Blocks() {
+			blocks = append(blocks, reidBlock{Block: b, id: len(blocks)})
+		}
+	}
+	g.combined = block.NewStore(blocks...)
+	return g, nil
+}
+
+// Build partitions rows into per-group in-memory stores with the given
+// block count per group (clamped to the group size, so a 2-row group gets
+// 2 blocks, never empty ones).
 func Build(rows []Row, blocks int) (*Store, error) {
+	return BuildColumn("", rows, blocks)
+}
+
+// BuildColumn is Build with an explicit group-column name.
+func BuildColumn(column string, rows []Row, blocks int) (*Store, error) {
 	if len(rows) == 0 {
 		return nil, errors.New("group: no rows")
 	}
@@ -40,25 +85,24 @@ func Build(rows []Row, blocks int) (*Store, error) {
 	for _, r := range rows {
 		byGroup[r.Group] = append(byGroup[r.Group], r.Value)
 	}
-	g := &Store{groups: make(map[string]*block.Store, len(byGroup))}
+	groups := make(map[string]*block.Store, len(byGroup))
 	for k, vals := range byGroup {
 		b := blocks
 		if len(vals) < b {
 			b = len(vals)
 		}
-		g.groups[k] = block.Partition(vals, b)
-		g.total += int64(len(vals))
+		groups[k] = block.Partition(vals, b)
 	}
-	return g, nil
+	return NewStore(column, groups)
 }
+
+// Column returns the group column's name ("" when unnamed).
+func (g *Store) Column() string { return g.column }
 
 // Groups returns the group keys, sorted.
 func (g *Store) Groups() []string {
-	keys := make([]string, 0, len(g.groups))
-	for k := range g.groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	keys := make([]string, len(g.keys))
+	copy(keys, g.keys)
 	return keys
 }
 
@@ -74,53 +118,287 @@ func (g *Store) Group(key string) (*block.Store, error) {
 // TotalLen returns the total row count across groups.
 func (g *Store) TotalLen() int64 { return g.total }
 
-// GroupResult is one group's approximate average.
+// Combined returns a store over every group's blocks (sorted-key order,
+// renumbered IDs) — the table view an ungrouped query aggregates. The
+// blocks are shared with the per-group stores; batched sampling and
+// persisted summaries delegate to the underlying blocks.
+func (g *Store) Combined() *block.Store { return g.combined }
+
+// Close releases resources held by every group's store (file-backed and
+// memory-mapped blocks). The combined view shares the same blocks, so each
+// is closed exactly once; the first error wins.
+func (g *Store) Close() error {
+	var first error
+	for _, k := range g.keys {
+		if err := g.groups[k].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// reidBlock renumbers a block for the combined view while delegating the
+// batched-sampling and summary capabilities of the underlying block. It
+// deliberately does not forward io.Closer: the per-group stores own their
+// blocks' lifetimes, so closing the combined view is a no-op.
+type reidBlock struct {
+	block.Block
+	id int
+}
+
+// ID implements Block with the combined view's numbering.
+func (b reidBlock) ID() int { return b.id }
+
+// SampleInto implements block.BatchSampler by delegating to the underlying
+// block's batched path (or its generic fallback) — identical RNG stream.
+func (b reidBlock) SampleInto(r *stats.RNG, dst []float64) error {
+	return block.SampleInto(b.Block, r, dst)
+}
+
+// Summary implements block.Summarized by delegating to the underlying
+// block, so combined stores over ISLB v2 files keep exact summaries.
+func (b reidBlock) Summary() (block.Summary, bool) {
+	return block.BlockSummary(b.Block)
+}
+
+// Agg selects the grouped aggregate function.
+type Agg int
+
+// Grouped aggregates: AVG estimates each group's mean, SUM derives
+// AVG·|group| (§VII-D), COUNT is exact from metadata.
+const (
+	AggAVG Agg = iota
+	AggSUM
+	AggCOUNT
+)
+
+// String returns the SQL spelling.
+func (a Agg) String() string {
+	switch a {
+	case AggAVG:
+		return "AVG"
+	case AggSUM:
+		return "SUM"
+	case AggCOUNT:
+		return "COUNT"
+	default:
+		return fmt.Sprintf("Agg(%d)", int(a))
+	}
+}
+
+// GroupResult is one group's approximate aggregate.
 type GroupResult struct {
 	Group    string
 	Count    int64
 	Estimate float64
 	Exact    bool // true when the group was small and scanned exactly
 	Samples  int64
+	// CI bounds the estimate for sampled groups; nil when Exact.
+	CI *stats.ConfidenceInterval
 }
+
+// DefaultExactThreshold is the group size at or below which Aggregate
+// scans exactly instead of sampling: below it, Eq. 1 would sample most of
+// the group anyway.
+const DefaultExactThreshold = 2000
 
 // Options tunes grouped estimation.
 type Options struct {
-	// ExactThreshold scans groups with at most this many rows exactly
-	// (default 2000 — below that, Eq. 1 would sample most of the group
-	// anyway).
+	// ExactThreshold scans groups with at most this many rows exactly.
+	// Zero means DefaultExactThreshold; negative disables the fallback so
+	// every group runs the estimator.
 	ExactThreshold int64
 }
 
-// AVG estimates the per-group averages under cfg. Results come back sorted
-// by group key.
-func AVG(g *Store, cfg core.Config, opts Options) ([]GroupResult, error) {
+// Threshold resolves the option's zero/negative conventions into the
+// effective exact-fallback bound (0 = fallback disabled). The engine's
+// SQL GROUP BY path shares it so both paths agree by construction.
+func (o Options) Threshold() int64 {
+	switch {
+	case o.ExactThreshold == 0:
+		return DefaultExactThreshold
+	case o.ExactThreshold < 0:
+		return 0
+	default:
+		return o.ExactThreshold
+	}
+}
+
+// Aggregate estimates the per-group aggregate under cfg. Results come back
+// sorted by group key. Estimation per group is exactly core.Estimate on
+// that group's store — bit-identical to running the group in isolation.
+func Aggregate(g *Store, agg Agg, cfg core.Config, opts Options) ([]GroupResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.ExactThreshold == 0 {
-		opts.ExactThreshold = 2000
-	}
-	out := make([]GroupResult, 0, len(g.groups))
-	for _, key := range g.Groups() {
+	thr := opts.Threshold()
+	out := make([]GroupResult, 0, len(g.keys))
+	for _, key := range g.keys {
 		s := g.groups[key]
 		gr := GroupResult{Group: key, Count: s.TotalLen()}
-		if s.TotalLen() <= opts.ExactThreshold {
+		switch {
+		case agg == AggCOUNT:
+			gr.Estimate = float64(s.TotalLen())
+			gr.Exact = true
+		case s.TotalLen() <= thr:
 			mean, err := s.ExactMean()
 			if err != nil {
 				return nil, fmt.Errorf("group %q: %w", key, err)
 			}
 			gr.Estimate = mean
+			if agg == AggSUM {
+				gr.Estimate = mean * float64(s.TotalLen())
+			}
 			gr.Exact = true
 			gr.Samples = s.TotalLen()
-		} else {
+		default:
 			res, err := core.Estimate(s, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("group %q: %w", key, err)
 			}
 			gr.Estimate = res.Estimate
 			gr.Samples = res.TotalSamples
+			ci := res.CI
+			if agg == AggSUM {
+				gr.Estimate = res.Sum
+				ci.Center = res.Sum
+				ci.HalfWidth *= float64(s.TotalLen())
+			}
+			gr.CI = &ci
 		}
 		out = append(out, gr)
 	}
 	return out, nil
+}
+
+// AVG estimates the per-group averages under cfg — Aggregate with AggAVG,
+// kept as the historical entry point.
+func AVG(g *Store, cfg core.Config, opts Options) ([]GroupResult, error) {
+	return Aggregate(g, AggAVG, cfg, opts)
+}
+
+// Manifest is the on-disk description of a grouped table: the group
+// column and, per group, the ISLB block files holding its values. File
+// paths are relative to the manifest's directory. Keys are stored in the
+// manifest only — file names are index-based — so any string, including
+// "", is a valid group key.
+type Manifest struct {
+	Version int             `json:"version"`
+	Column  string          `json:"column"`
+	Groups  []ManifestGroup `json:"groups"`
+}
+
+// ManifestGroup names one group's block files, in block order.
+type ManifestGroup struct {
+	Key   string   `json:"key"`
+	Files []string `json:"files"`
+}
+
+// manifestVersion is the current manifest format.
+const manifestVersion = 1
+
+// ManifestName is the file name WriteFiles gives the manifest inside its
+// directory.
+const ManifestName = "manifest.json"
+
+// WriteFiles partitions rows per group into ISLB v2 block files under dir
+// (g0000.000, g0000.001, … — group directories indexed in sorted-key
+// order) and writes ManifestName describing them. Partition boundaries
+// match block.Partition exactly, so a store opened from these files is
+// block-for-block identical to Build over the same rows. It returns the
+// manifest path.
+func WriteFiles(dir, column string, rows []Row, blocksPerGroup int) (string, error) {
+	if len(rows) == 0 {
+		return "", errors.New("group: no rows")
+	}
+	if blocksPerGroup <= 0 {
+		return "", fmt.Errorf("group: block count %d must be positive", blocksPerGroup)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	byGroup := map[string][]float64{}
+	for _, r := range rows {
+		byGroup[r.Group] = append(byGroup[r.Group], r.Value)
+	}
+	keys := make([]string, 0, len(byGroup))
+	for k := range byGroup {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	man := Manifest{Version: manifestVersion, Column: column}
+	for gi, k := range keys {
+		vals := byGroup[k]
+		b := blocksPerGroup
+		if len(vals) < b {
+			b = len(vals)
+		}
+		mg := ManifestGroup{Key: k, Files: make([]string, 0, b)}
+		n := len(vals)
+		for i := 0; i < b; i++ {
+			lo := i * n / b
+			hi := (i + 1) * n / b
+			name := fmt.Sprintf("g%04d.%03d", gi, i)
+			if err := block.WriteFile(filepath.Join(dir, name), vals[lo:hi]); err != nil {
+				return "", err
+			}
+			mg.Files = append(mg.Files, name)
+		}
+		man.Groups = append(man.Groups, mg)
+	}
+	path := filepath.Join(dir, ManifestName)
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// OpenManifest opens every group's block files in the given mode and
+// assembles the grouped store. Close the store to release the mappings
+// and handles.
+func OpenManifest(path string, mode block.OpenMode) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("group: parsing manifest %s: %w", path, err)
+	}
+	if man.Version != manifestVersion {
+		return nil, fmt.Errorf("group: manifest %s has unsupported version %d", path, man.Version)
+	}
+	dir := filepath.Dir(path)
+	groups := make(map[string]*block.Store, len(man.Groups))
+	fail := func(e error) (*Store, error) {
+		for _, s := range groups {
+			s.Close()
+		}
+		return nil, e
+	}
+	for _, mg := range man.Groups {
+		if _, dup := groups[mg.Key]; dup {
+			return fail(fmt.Errorf("group: manifest %s repeats group %q", path, mg.Key))
+		}
+		blocks := make([]block.Block, 0, len(mg.Files))
+		for i, f := range mg.Files {
+			fb, err := block.Open(i, filepath.Join(dir, f), mode)
+			if err != nil {
+				block.NewStore(blocks...).Close()
+				return fail(err)
+			}
+			blocks = append(blocks, fb)
+		}
+		groups[mg.Key] = block.NewStore(blocks...)
+	}
+	g, err := NewStore(man.Column, groups)
+	if err != nil {
+		return fail(err)
+	}
+	return g, nil
 }

@@ -2,8 +2,11 @@ package group
 
 import (
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"isla/internal/block"
 	"isla/internal/core"
 	"isla/internal/stats"
 )
@@ -128,5 +131,264 @@ func TestAVGResultsSorted(t *testing.T) {
 	}
 	if res[0].Group != "alpha" || res[2].Group != "zeta" {
 		t.Fatalf("not sorted: %v", res)
+	}
+}
+
+func TestBuildEmptyGroupKey(t *testing.T) {
+	// "" is a legal group key: it sorts first, aggregates and survives a
+	// manifest round trip (file names are index-based, not key-based).
+	rows := []Row{{"", 1}, {"", 3}, {"a", 10}}
+	g, err := Build(rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := g.Groups()
+	if len(keys) != 2 || keys[0] != "" || keys[1] != "a" {
+		t.Fatalf("keys = %q", keys)
+	}
+	res, err := Aggregate(g, AggAVG, core.DefaultConfig(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Group != "" || res[0].Estimate != 2 || !res[0].Exact {
+		t.Fatalf("empty-key group = %+v", res[0])
+	}
+
+	dir := t.TempDir()
+	man, err := WriteFiles(dir, "g", rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := OpenManifest(man, block.ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Close()
+	if keys := g2.Groups(); len(keys) != 2 || keys[0] != "" {
+		t.Fatalf("manifest keys = %q", keys)
+	}
+}
+
+func TestBuildClampsBlocksToRows(t *testing.T) {
+	g, err := Build([]Row{{"a", 1}, {"a", 2}, {"b", 9}}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := g.Group("a")
+	b, _ := g.Group("b")
+	if a.NumBlocks() != 2 || b.NumBlocks() != 1 {
+		t.Fatalf("blocks: a=%d b=%d", a.NumBlocks(), b.NumBlocks())
+	}
+	for _, s := range []*block.Store{a, b} {
+		for _, blk := range s.Blocks() {
+			if blk.Len() == 0 {
+				t.Fatal("clamped build produced an empty block")
+			}
+		}
+	}
+}
+
+func TestOptionsExactThreshold(t *testing.T) {
+	rows := make([]Row, 0, 600)
+	r := stats.NewRNG(2)
+	for i := 0; i < 600; i++ {
+		rows = append(rows, Row{"g", 100 + 10*r.Float64()})
+	}
+	g, err := Build(rows, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Precision = 5
+
+	// Zero → DefaultExactThreshold (2000): a 600-row group is exact.
+	res, err := Aggregate(g, AggAVG, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Exact {
+		t.Errorf("default threshold: 600-row group sampled, want exact")
+	}
+	// Explicit threshold below the group size: sampled.
+	res, err = Aggregate(g, AggAVG, cfg, Options{ExactThreshold: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Exact {
+		t.Errorf("threshold 100: 600-row group exact, want sampled")
+	}
+	if res[0].CI == nil {
+		t.Errorf("sampled group carries no CI")
+	}
+	// Negative disables the fallback entirely.
+	res, err = Aggregate(g, AggAVG, cfg, Options{ExactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Exact {
+		t.Errorf("negative threshold: group still exact")
+	}
+}
+
+func TestAggregateSUMAndCOUNT(t *testing.T) {
+	rows, _ := makeRows(t)
+	g, err := Build(rows, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Precision = 1
+	cfg.Seed = 3
+
+	avg, err := Aggregate(g, AggAVG, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Aggregate(g, AggSUM, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := Aggregate(g, AggCOUNT, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range avg {
+		if want := avg[i].Estimate * float64(avg[i].Count); math.Abs(sum[i].Estimate-want) > 1e-6*math.Abs(want) {
+			t.Errorf("group %s: SUM %v, want AVG·M %v", sum[i].Group, sum[i].Estimate, want)
+		}
+		if !cnt[i].Exact || cnt[i].Estimate != float64(cnt[i].Count) {
+			t.Errorf("group %s: COUNT = %+v", cnt[i].Group, cnt[i])
+		}
+		if !sum[i].Exact && sum[i].CI == nil {
+			t.Errorf("group %s: sampled SUM has no CI", sum[i].Group)
+		}
+	}
+}
+
+// TestManifestRoundTripEquivalence: a grouped table written to partitioned
+// ISLB files and reopened (pread and mmap) answers bit-identically to the
+// in-memory Build over the same rows, group by group.
+func TestManifestRoundTripEquivalence(t *testing.T) {
+	rows, _ := makeRows(t)
+	mem, err := Build(rows, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	man, err := WriteFiles(dir, "region", rows, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Precision = 1
+	cfg.Seed = 17
+	want, err := Aggregate(mem, AggAVG, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []block.OpenMode{block.ModePread, block.ModeMmap} {
+		g, err := OpenManifest(man, mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if g.Column() != "region" {
+			t.Fatalf("%v: column = %q", mode, g.Column())
+		}
+		got, err := Aggregate(g, AggAVG, cfg, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		for i := range want {
+			if got[i].Group != want[i].Group || got[i].Samples != want[i].Samples ||
+				got[i].Count != want[i].Count || got[i].Exact != want[i].Exact {
+				t.Errorf("%v group %s: %+v != mem %+v", mode, want[i].Group, got[i], want[i])
+				continue
+			}
+			if got[i].Exact {
+				// Exact groups answer from persisted summaries on file
+				// stores and a Welford scan in memory: same mean up to
+				// accumulation order (last-ulp), not bit-identical.
+				if math.Abs(got[i].Estimate-want[i].Estimate) > 1e-12*math.Abs(want[i].Estimate) {
+					t.Errorf("%v group %s: exact %v != mem %v", mode, want[i].Group, got[i].Estimate, want[i].Estimate)
+				}
+			} else if got[i].Estimate != want[i].Estimate {
+				t.Errorf("%v group %s: sampled %v != mem %v (must be bit-identical)", mode, want[i].Group, got[i].Estimate, want[i].Estimate)
+			}
+		}
+		if err := g.Close(); err != nil {
+			t.Fatalf("%v: close: %v", mode, err)
+		}
+	}
+}
+
+func TestOpenManifestErrors(t *testing.T) {
+	if _, err := OpenManifest(filepath.Join(t.TempDir(), "nope.json"), block.ModeAuto); err == nil {
+		t.Error("missing manifest accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "manifest.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := OpenManifest(bad, block.ModeAuto); err == nil {
+		t.Error("corrupt manifest accepted")
+	}
+	os.WriteFile(bad, []byte(`{"version":9,"groups":[]}`), 0o644)
+	if _, err := OpenManifest(bad, block.ModeAuto); err == nil {
+		t.Error("future manifest version accepted")
+	}
+	os.WriteFile(bad, []byte(`{"version":1,"groups":[{"key":"a","files":["missing.000"]}]}`), 0o644)
+	if _, err := OpenManifest(bad, block.ModeAuto); err == nil {
+		t.Error("manifest with missing block file accepted")
+	}
+}
+
+// TestCombinedStore: the combined view aggregates every row once, carries
+// renumbered block IDs, delegates persisted summaries, and closing it does
+// not close the shared group blocks.
+func TestCombinedStore(t *testing.T) {
+	rows := []Row{{"a", 1}, {"a", 2}, {"b", 3}, {"b", 4}, {"c", 5}}
+	g, err := Build(rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Combined()
+	if c.TotalLen() != 5 {
+		t.Fatalf("combined len = %d", c.TotalLen())
+	}
+	mean, err := c.ExactMean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 3 {
+		t.Fatalf("combined mean = %v", mean)
+	}
+	for i, b := range c.Blocks() {
+		if b.ID() != i {
+			t.Fatalf("block %d has ID %d", i, b.ID())
+		}
+	}
+
+	// File-backed: summaries must survive the combined view, and Close on
+	// the group store must be the one that releases the blocks.
+	dir := t.TempDir()
+	man, err := WriteFiles(dir, "g", rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg, err := OpenManifest(man, block.ModePread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fg.Combined().Summary(); !ok {
+		t.Error("combined view lost the persisted summaries")
+	}
+	if err := fg.Combined().Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Blocks are still usable: Close on the combined view was a no-op.
+	if _, err := fg.Combined().ExactMean(); err != nil {
+		t.Errorf("combined blocks closed by combined Close: %v", err)
+	}
+	if err := fg.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -8,7 +8,11 @@
 // frozen σ via Eq. (1) and skips the pilot phase entirely.
 //
 // Entries are keyed by (table, catalog generation, sample fraction, seed,
-// summary checksum). The generation changes whenever the catalog replaces
+// summary checksum, group key, predicate fingerprint) and hold whatever
+// frozen pre-estimation state the caller derives — an unfiltered
+// core.FrozenPilot, a predicate-filtered core.FilterPilot, or any future
+// per-plan state; the cache itself is value-agnostic (entries are any).
+// The generation changes whenever the catalog replaces
 // a table's store, so a re-registered table can never be served a stale
 // pilot, and the summary checksum binds each entry to the persisted block
 // statistics observed when its store was opened, so a store re-opened
@@ -24,8 +28,6 @@ import (
 	"context"
 	"fmt"
 	"sync"
-
-	"isla/internal/core"
 )
 
 // Key identifies one cacheable pre-estimation.
@@ -46,6 +48,21 @@ type Key struct {
 	// pilot does, so the two freeze different resume points and must not
 	// share entries.
 	SummaryPilot bool
+	// Grouped marks entries built for a single group of a grouped table.
+	// It disambiguates the empty group key — a legal key — from the
+	// table-level (combined view) entry, which also carries Group "".
+	Grouped bool
+	// Group is the group key the pilot belongs to for grouped queries
+	// ("" for ungrouped — and also a legal group key; see Grouped): each
+	// group of a grouped table is its own block store with its own
+	// pre-estimation, so entries are per group.
+	Group string
+	// Predicate fingerprints the WHERE conjunction the pilot was built
+	// under (the canonical query.PredicateString rendering; "" when
+	// unfiltered). Filtered pilots freeze conditional statistics and a
+	// different RNG resume point, so they never share entries with
+	// unfiltered ones.
+	Predicate string
 	// SummaryCRC fingerprints the store's persisted block summaries
 	// (Store.SummaryChecksum — the folded ISLB v2 footer CRCs captured
 	// when the blocks were opened, 0 for stores without summaries). It
@@ -87,12 +104,12 @@ type Cache struct {
 
 type entry struct {
 	key Key
-	fp  core.FrozenPilot
+	fp  any
 }
 
 type flight struct {
 	done chan struct{}
-	fp   core.FrozenPilot
+	fp   any
 	err  error
 }
 
@@ -110,14 +127,18 @@ func New(capacity int) *Cache {
 	}
 }
 
-// Get returns the frozen pilot for key, building it with build on a miss.
-// The boolean reports a hit: true means the caller skipped the pilot phase
-// (cached entry or joined another caller's in-flight build). Build errors
-// are returned to every waiting caller — with hit=false and no Hits
-// credit — and nothing is cached. A caller that joins an in-flight build
-// stops waiting when ctx is cancelled (the build itself keeps running for
-// the caller that started it, like the cache-less pilot would).
-func (c *Cache) Get(ctx context.Context, key Key, build func() (core.FrozenPilot, error)) (core.FrozenPilot, bool, error) {
+// Get returns the frozen pre-estimation state for key, building it with
+// build on a miss. Callers own the value's concrete type: the state stored
+// under a key is whatever its builder returns, and the keying discipline
+// (Group, Predicate, SummaryPilot) keeps distinct pilot disciplines on
+// distinct keys. The boolean reports a hit: true means the caller skipped
+// the pilot phase (cached entry or joined another caller's in-flight
+// build). Build errors are returned to every waiting caller — with
+// hit=false and no Hits credit — and nothing is cached. A caller that
+// joins an in-flight build stops waiting when ctx is cancelled (the build
+// itself keeps running for the caller that started it, like the
+// cache-less pilot would).
+func (c *Cache) Get(ctx context.Context, key Key, build func() (any, error)) (any, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
@@ -132,10 +153,10 @@ func (c *Cache) Get(ctx context.Context, key Key, build func() (core.FrozenPilot
 		select {
 		case <-fl.done:
 		case <-ctx.Done():
-			return core.FrozenPilot{}, false, ctx.Err()
+			return nil, false, ctx.Err()
 		}
 		if fl.err != nil {
-			return core.FrozenPilot{}, false, fl.err
+			return nil, false, fl.err
 		}
 		c.mu.Lock()
 		c.hits++
@@ -175,7 +196,7 @@ func (c *Cache) Get(ctx context.Context, key Key, build func() (core.FrozenPilot
 }
 
 // insert adds an entry and enforces the LRU bound. Caller holds c.mu.
-func (c *Cache) insert(key Key, fp core.FrozenPilot) {
+func (c *Cache) insert(key Key, fp any) {
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*entry).fp = fp
 		c.order.MoveToFront(el)

@@ -22,10 +22,18 @@ func pilot(sigma float64) core.FrozenPilot {
 	return core.FrozenPilot{Base: core.Pilot{Sigma: sigma}}
 }
 
+// sigmaOf unwraps the test pilots stored through the value-agnostic API.
+func sigmaOf(v any) float64 {
+	if v == nil {
+		return 0
+	}
+	return v.(core.FrozenPilot).Base.Sigma
+}
+
 func TestGetMissThenHit(t *testing.T) {
 	c := New(4)
 	builds := 0
-	build := func() (core.FrozenPilot, error) {
+	build := func() (any, error) {
 		builds++
 		return pilot(7), nil
 	}
@@ -33,15 +41,15 @@ func TestGetMissThenHit(t *testing.T) {
 	if err != nil || hit {
 		t.Fatalf("first get: hit=%v err=%v", hit, err)
 	}
-	if fp.Base.Sigma != 7 {
-		t.Fatalf("sigma = %v", fp.Base.Sigma)
+	if sigmaOf(fp) != 7 {
+		t.Fatalf("sigma = %v", sigmaOf(fp))
 	}
 	fp, hit, err = c.Get(ctx, key("t", 1), build)
 	if err != nil || !hit {
 		t.Fatalf("second get: hit=%v err=%v", hit, err)
 	}
-	if fp.Base.Sigma != 7 || builds != 1 {
-		t.Fatalf("sigma=%v builds=%d", fp.Base.Sigma, builds)
+	if sigmaOf(fp) != 7 || builds != 1 {
+		t.Fatalf("sigma=%v builds=%d", sigmaOf(fp), builds)
 	}
 	st := c.Stats()
 	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
@@ -51,7 +59,7 @@ func TestGetMissThenHit(t *testing.T) {
 
 func TestGenerationMiss(t *testing.T) {
 	c := New(4)
-	build := func() (core.FrozenPilot, error) { return pilot(1), nil }
+	build := func() (any, error) { return pilot(1), nil }
 	c.Get(ctx, key("t", 1), build)
 	if _, hit, _ := c.Get(ctx, key("t", 2), build); hit {
 		t.Fatal("newer generation must not hit an older entry")
@@ -69,7 +77,7 @@ func TestSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			fp, hit, err := c.Get(ctx, key("t", 1), func() (core.FrozenPilot, error) {
+			fp, hit, err := c.Get(ctx, key("t", 1), func() (any, error) {
 				builds.Add(1)
 				<-release // hold every other caller in the flight
 				return pilot(3), nil
@@ -77,8 +85,8 @@ func TestSingleFlight(t *testing.T) {
 			if err != nil {
 				t.Error(err)
 			}
-			if fp.Base.Sigma != 3 {
-				t.Errorf("sigma = %v", fp.Base.Sigma)
+			if sigmaOf(fp) != 3 {
+				t.Errorf("sigma = %v", sigmaOf(fp))
 			}
 			if hit {
 				hits.Add(1)
@@ -102,13 +110,13 @@ func TestSingleFlight(t *testing.T) {
 func TestBuildErrorNotCached(t *testing.T) {
 	c := New(4)
 	boom := errors.New("boom")
-	if _, _, err := c.Get(ctx, key("t", 1), func() (core.FrozenPilot, error) {
-		return core.FrozenPilot{}, boom
+	if _, _, err := c.Get(ctx, key("t", 1), func() (any, error) {
+		return nil, boom
 	}); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
 	// The failure must not be cached: the next Get builds again.
-	_, hit, err := c.Get(ctx, key("t", 1), func() (core.FrozenPilot, error) {
+	_, hit, err := c.Get(ctx, key("t", 1), func() (any, error) {
 		return pilot(2), nil
 	})
 	if err != nil || hit {
@@ -121,7 +129,7 @@ func TestBuildErrorNotCached(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	c := New(2)
-	build := func() (core.FrozenPilot, error) { return pilot(1), nil }
+	build := func() (any, error) { return pilot(1), nil }
 	c.Get(ctx, key("a", 1), build)
 	c.Get(ctx, key("b", 1), build)
 	c.Get(ctx, key("a", 1), build) // touch a so b is the LRU victim
@@ -139,7 +147,7 @@ func TestLRUEviction(t *testing.T) {
 
 func TestInvalidate(t *testing.T) {
 	c := New(8)
-	build := func() (core.FrozenPilot, error) { return pilot(1), nil }
+	build := func() (any, error) { return pilot(1), nil }
 	for gen := uint64(1); gen <= 3; gen++ {
 		c.Get(ctx, key("t", gen), build)
 	}
@@ -162,7 +170,7 @@ func TestJoinerContextCancel(t *testing.T) {
 	release := make(chan struct{})
 	leaderDone := make(chan error, 1)
 	go func() {
-		_, _, err := c.Get(ctx, key("t", 1), func() (core.FrozenPilot, error) {
+		_, _, err := c.Get(ctx, key("t", 1), func() (any, error) {
 			close(inFlight)
 			<-release
 			return pilot(5), nil
@@ -174,9 +182,9 @@ func TestJoinerContextCancel(t *testing.T) {
 	jctx, cancel := context.WithCancel(ctx)
 	joinerDone := make(chan error, 1)
 	go func() {
-		_, hit, err := c.Get(jctx, key("t", 1), func() (core.FrozenPilot, error) {
+		_, hit, err := c.Get(jctx, key("t", 1), func() (any, error) {
 			t.Error("joiner must not build")
-			return core.FrozenPilot{}, nil
+			return nil, nil
 		})
 		if hit {
 			t.Error("cancelled joiner reported a hit")
@@ -192,8 +200,8 @@ func TestJoinerContextCancel(t *testing.T) {
 	if err := <-leaderDone; err != nil {
 		t.Fatal(err)
 	}
-	if _, hit, _ := c.Get(ctx, key("t", 1), func() (core.FrozenPilot, error) {
-		return core.FrozenPilot{}, errors.New("should be cached")
+	if _, hit, _ := c.Get(ctx, key("t", 1), func() (any, error) {
+		return nil, errors.New("should be cached")
 	}); !hit {
 		t.Fatal("leader's build was not cached")
 	}
@@ -209,10 +217,10 @@ func TestFailedBuildJoinersNotHits(t *testing.T) {
 	leaderDone := make(chan struct{})
 	go func() {
 		defer close(leaderDone)
-		c.Get(ctx, key("t", 1), func() (core.FrozenPilot, error) {
+		c.Get(ctx, key("t", 1), func() (any, error) {
 			close(inFlight)
 			<-release
-			return core.FrozenPilot{}, boom
+			return nil, boom
 		})
 	}()
 	<-inFlight
@@ -225,8 +233,8 @@ func TestFailedBuildJoinersNotHits(t *testing.T) {
 			defer wg.Done()
 			// A goroutine scheduled after the flight fails becomes its own
 			// (also failing) builder; either way no hit may be reported.
-			_, hit, err := c.Get(ctx, key("t", 1), func() (core.FrozenPilot, error) {
-				return core.FrozenPilot{}, boom
+			_, hit, err := c.Get(ctx, key("t", 1), func() (any, error) {
+				return nil, boom
 			})
 			if hit || !errors.Is(err, boom) {
 				t.Errorf("joiner: hit=%v err=%v", hit, err)
@@ -253,16 +261,16 @@ func TestBuildPanicUnwedgesKey(t *testing.T) {
 				t.Error("build panic was swallowed")
 			}
 		}()
-		c.Get(ctx, key("t", 1), func() (core.FrozenPilot, error) {
+		c.Get(ctx, key("t", 1), func() (any, error) {
 			panic("pilot exploded")
 		})
 	}()
 	// The key must not be wedged: the next Get runs a fresh build.
-	fp, hit, err := c.Get(ctx, key("t", 1), func() (core.FrozenPilot, error) {
+	fp, hit, err := c.Get(ctx, key("t", 1), func() (any, error) {
 		return pilot(9), nil
 	})
-	if err != nil || hit || fp.Base.Sigma != 9 {
-		t.Fatalf("after panic: fp=%v hit=%v err=%v", fp.Base.Sigma, hit, err)
+	if err != nil || hit || sigmaOf(fp) != 9 {
+		t.Fatalf("after panic: fp=%v hit=%v err=%v", sigmaOf(fp), hit, err)
 	}
 	if st := c.Stats(); st.Entries != 1 {
 		t.Fatalf("stats = %+v", st)
@@ -278,15 +286,15 @@ func TestConcurrentMixedKeys(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				table := fmt.Sprintf("t%d", i%4)
-				fp, _, err := c.Get(ctx, key(table, uint64(i%3)), func() (core.FrozenPilot, error) {
+				fp, _, err := c.Get(ctx, key(table, uint64(i%3)), func() (any, error) {
 					return pilot(float64(i%4 + 1)), nil
 				})
 				if err != nil {
 					t.Error(err)
 					return
 				}
-				if fp.Base.Sigma < 1 || fp.Base.Sigma > 4 {
-					t.Errorf("sigma = %v", fp.Base.Sigma)
+				if sigmaOf(fp) < 1 || sigmaOf(fp) > 4 {
+					t.Errorf("sigma = %v", sigmaOf(fp))
 					return
 				}
 				if i%50 == 0 {
@@ -305,8 +313,8 @@ func TestConcurrentMixedKeys(t *testing.T) {
 // generation) must map to a distinct entry, exactly like a generation bump.
 func TestSummaryCRCMiss(t *testing.T) {
 	c := New(4)
-	builder := func(sigma float64) func() (core.FrozenPilot, error) {
-		return func() (core.FrozenPilot, error) { return pilot(sigma), nil }
+	builder := func(sigma float64) func() (any, error) {
+		return func() (any, error) { return pilot(sigma), nil }
 	}
 	k1 := key("t", 1)
 	k1.SummaryCRC = 0xAAAA
@@ -322,8 +330,8 @@ func TestSummaryCRCMiss(t *testing.T) {
 	if err != nil || !hit {
 		t.Fatalf("same summary missed: hit=%v err=%v", hit, err)
 	}
-	if fp.Base.Sigma != 1 {
-		t.Fatalf("wrong entry returned: sigma %v", fp.Base.Sigma)
+	if sigmaOf(fp) != 1 {
+		t.Fatalf("wrong entry returned: sigma %v", sigmaOf(fp))
 	}
 	// The pilot discipline participates in the key too: a summary-served
 	// pilot must not resume a sampled pilot's RNG state.
@@ -331,5 +339,42 @@ func TestSummaryCRCMiss(t *testing.T) {
 	k3.SummaryPilot = true
 	if _, hit, err := c.Get(ctx, k3, builder(4)); err != nil || hit {
 		t.Fatalf("summary-pilot key shared a sampled-pilot entry: hit=%v err=%v", hit, err)
+	}
+}
+
+// Distinct group keys and predicate fingerprints map to distinct entries:
+// a grouped table caches one pilot per group, and filtered pilots never
+// share state with unfiltered ones.
+func TestGroupAndPredicateKeying(t *testing.T) {
+	c := New(8)
+	builder := func(sigma float64) func() (any, error) {
+		return func() (any, error) { return pilot(sigma), nil }
+	}
+	base := key("t", 1)
+	east := base
+	east.Group = "east"
+	west := base
+	west.Group = "west"
+	filtered := east
+	filtered.Predicate = "v > 10"
+
+	for i, k := range []Key{base, east, west, filtered} {
+		if _, hit, err := c.Get(ctx, k, builder(float64(i+1))); err != nil || hit {
+			t.Fatalf("key %d: hit=%v err=%v", i, hit, err)
+		}
+	}
+	for i, k := range []Key{base, east, west, filtered} {
+		fp, hit, err := c.Get(ctx, k, builder(0))
+		if err != nil || !hit {
+			t.Fatalf("key %d revisit: hit=%v err=%v", i, hit, err)
+		}
+		if sigmaOf(fp) != float64(i+1) {
+			t.Fatalf("key %d returned entry %v", i, sigmaOf(fp))
+		}
+	}
+	// Invalidate drops every entry of the table, across groups/predicates.
+	c.Invalidate("t")
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after invalidate", c.Len())
 	}
 }

@@ -6,11 +6,19 @@ import (
 	"strings"
 )
 
-// String renders the query in canonical dialect form; Parse(q.String())
-// reproduces q exactly (see the round-trip property test).
+// String renders the query in canonical dialect form — predicates first,
+// then GROUP BY, then the WITH options; Parse(q.String()) reproduces q
+// exactly (see the round-trip property test).
 func (q Query) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "SELECT %s(%s) FROM %s", q.Agg, q.Column, q.Table)
+	if len(q.Predicates) > 0 {
+		b.WriteString(" WHERE ")
+		b.WriteString(PredicateString(q.Predicates))
+	}
+	if q.GroupBy != "" {
+		fmt.Fprintf(&b, " GROUP BY %s", q.GroupBy)
+	}
 	wrote := false
 	opt := func(kw, val string) {
 		if !wrote {

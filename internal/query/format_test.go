@@ -56,12 +56,35 @@ func TestQueryRoundTrip(t *testing.T) {
 			q.Seed = r.Uint64() % 1_000_000
 			q.HasSeed = true
 		}
+		// WHERE predicates and GROUP BY only combine with ISLA/EXACT and
+		// without TIME; filtered COUNT needs a precision target.
+		if (q.Method == MethodISLA || q.Method == MethodExact) && q.TimeBudget == 0 {
+			if r.Intn(2) == 0 {
+				if q.Agg == COUNT && q.Method != MethodExact {
+					q.Precision = math.Trunc(1000*r.Float64()+1) / 1000
+				}
+				col := q.Column
+				if col == "*" {
+					col = "v"
+				}
+				for n := 1 + r.Intn(2); n > 0; n-- {
+					q.Predicates = append(q.Predicates, Predicate{
+						Column: col,
+						Op:     []CmpOp{LT, LE, GT, GE, EQ, NE}[r.Intn(6)],
+						Value:  math.Trunc(2000*r.Float64()-1000) / 10,
+					})
+				}
+			}
+			if r.Intn(2) == 0 {
+				q.GroupBy = []string{"g", "region"}[r.Intn(2)]
+			}
+		}
 		got, err := Parse(q.String())
 		if err != nil {
 			t.Logf("Parse(%q): %v", q.String(), err)
 			return false
 		}
-		return got == q
+		return got.Equal(q)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
@@ -78,7 +101,30 @@ func TestQueryStringAllOptions(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Parse(%q): %v", q.String(), err)
 	}
-	if got != q {
+	if !got.Equal(q) {
+		t.Fatalf("round trip: %+v != %+v", got, q)
+	}
+}
+
+func TestQueryStringGroupedFiltered(t *testing.T) {
+	q := Query{
+		Agg: AVG, Column: "v", Table: "sales",
+		Precision: 0.5,
+		Predicates: []Predicate{
+			{Column: "v", Op: GT, Value: 10},
+			{Column: "v", Op: LE, Value: 200},
+		},
+		GroupBy: "region",
+	}
+	want := "SELECT AVG(v) FROM sales WHERE v > 10 AND v <= 200 GROUP BY region WITH PRECISION 0.5"
+	if got := q.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	got, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q.String(), err)
+	}
+	if !got.Equal(q) {
 		t.Fatalf("round trip: %+v != %+v", got, q)
 	}
 }

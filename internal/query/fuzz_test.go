@@ -19,6 +19,24 @@ func FuzzParse(f *testing.F) {
 		"SELECT AVG(v) FROM t METHOD EXACT",
 		"SELECT AVG(v) FROM t WITH TIME 1.5",
 		"SELECT AVG(v) FROM t WHERE PRECISION 0.2 AND CONFIDENCE 0.9",
+		"SELECT AVG(v) FROM t WHERE v > 10 WITH PRECISION 0.1",
+		"SELECT AVG(v) FROM t WHERE v > 10 AND v <= 200 GROUP BY g WITH PRECISION 0.1",
+		"SELECT SUM(v) FROM t WHERE v >= -1.5 AND v <> 0 WITH PRECISION 0.5 SEED 3",
+		"SELECT COUNT(*) FROM t WHERE v = 42 WITH PRECISION 0.1",
+		"SELECT COUNT(*) FROM t WHERE v != 42 METHOD EXACT",
+		"SELECT AVG(v) FROM t GROUP BY region WITH PRECISION 0.2",
+		"SELECT AVG(v) FROM t GROUP BY region METHOD EXACT",
+		"SELECT AVG(v) FROM t WHERE v < 1e3 GROUP BY g WITH PRECISION 0.1 CONFIDENCE 0.9",
+		"SELECT AVG(v) FROM t WHERE w > 10 WITH PRECISION 0.1",
+		"SELECT AVG(v) FROM t WHERE v > 10 GROUP BY v WITH PRECISION 0.1",
+		"SELECT AVG(v) FROM t WHERE v > 10 METHOD US WITH PRECISION 0.1",
+		"SELECT AVG(v) FROM t GROUP BY g WITH TIME 0.5",
+		"SELECT AVG(v) FROM t WHERE v >",
+		"SELECT AVG(v) FROM t WHERE > 10",
+		"SELECT AVG(v) FROM t GROUP g",
+		"SELECT AVG(v) FROM t GROUP BY",
+		"SELECT AVG(v) FROM t WHERE v ! 10",
+		"SELECT AVG(v) FROM t WHERE v <> 10 GROUP BY a GROUP BY b",
 		"select avg(price) from trips with precision 2 method isla;",
 		"SELECT AVG(v) FROM t WITH PRECISION 1e-3 SEED 7",
 		"SELECT AVG(v) FROM t WITH PRECISION +0.5",
@@ -51,7 +69,7 @@ func FuzzParse(f *testing.F) {
 		if err != nil {
 			t.Fatalf("canonical form does not reparse: %q → %q: %v", input, canonical, err)
 		}
-		if q2 != q {
+		if !q2.Equal(q) {
 			t.Fatalf("round trip changed the query: %q → %+v, reparsed %+v", input, q, q2)
 		}
 	})

@@ -1,12 +1,17 @@
 // Package query implements the small SQL dialect of the paper's system:
 //
-//	SELECT AVG(col) FROM table WITH PRECISION 0.1
+//	SELECT AVG(col) FROM table [WHERE col > 10 [AND col <= 20]]
+//	       [GROUP BY g] WITH PRECISION 0.1
 //	       [CONFIDENCE 0.95] [METHOD ISLA] [SAMPLEFRACTION 0.33] [SEED 42]
 //
 // SUM and COUNT are accepted alongside AVG (SUM derives from AVG·M per
-// §VII-D; COUNT is exact from metadata). The dialect is deliberately tiny —
-// a tokenizer plus a recursive-descent parser over a fixed grammar — but it
-// rejects malformed input with positioned errors like a real front end.
+// §VII-D; COUNT is exact from metadata unless a WHERE predicate makes it an
+// estimated selectivity count). WHERE carries comparison predicates on the
+// value column — conjunctions of <, <=, >, >=, = and <> against numeric
+// literals — and GROUP BY names the group column of a grouped table
+// (§VII-D). The dialect is deliberately tiny — a tokenizer plus a
+// recursive-descent parser over a fixed grammar — but it rejects malformed
+// input with positioned errors like a real front end.
 package query
 
 import (
@@ -26,6 +31,12 @@ const (
 	tokRParen
 	tokStar
 	tokComma
+	tokLT // <
+	tokLE // <=
+	tokGT // >
+	tokGE // >=
+	tokEQ // =
+	tokNE // <> or !=
 )
 
 func (k tokenKind) String() string {
@@ -44,6 +55,18 @@ func (k tokenKind) String() string {
 		return "'*'"
 	case tokComma:
 		return "','"
+	case tokLT:
+		return "'<'"
+	case tokLE:
+		return "'<='"
+	case tokGT:
+		return "'>'"
+	case tokGE:
+		return "'>='"
+	case tokEQ:
+		return "'='"
+	case tokNE:
+		return "'<>'"
 	default:
 		return "unknown token"
 	}
@@ -80,6 +103,36 @@ func lex(input string) ([]token, error) {
 			i++
 		case c == ';':
 			i++ // trailing semicolons are harmless
+		case c == '<':
+			switch {
+			case i+1 < len(input) && input[i+1] == '=':
+				toks = append(toks, token{tokLE, "<=", i})
+				i += 2
+			case i+1 < len(input) && input[i+1] == '>':
+				toks = append(toks, token{tokNE, "<>", i})
+				i += 2
+			default:
+				toks = append(toks, token{tokLT, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{tokGE, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokGT, ">", i})
+				i++
+			}
+		case c == '=':
+			toks = append(toks, token{tokEQ, "=", i})
+			i++
+		case c == '!':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{tokNE, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("query: unexpected character %q at position %d (did you mean !=?)", c, i)
+			}
 		case isDigit(c) || c == '.' || ((c == '-' || c == '+') && i+1 < len(input) && (isDigit(input[i+1]) || input[i+1] == '.')):
 			start := i
 			if c == '-' || c == '+' {

@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -83,7 +84,8 @@ func parseMethod(s string) (Method, error) {
 	}
 }
 
-// Query is the parsed form of a statement.
+// Query is the parsed form of a statement. Query is not comparable with ==
+// (Predicates is a slice); use Equal.
 type Query struct {
 	Agg            Agg
 	Column         string // "*" only for COUNT
@@ -97,6 +99,27 @@ type Query struct {
 	// TimeBudget, in seconds, switches ISLA to the §VII-F time-constraint
 	// mode: the precision is derived from what the budget affords.
 	TimeBudget float64
+	// Predicates are the WHERE conjuncts on the value column; empty means
+	// unfiltered.
+	Predicates []Predicate
+	// GroupBy is the GROUP BY column; "" means ungrouped.
+	GroupBy string
+}
+
+// Equal reports structural equality of two parsed queries.
+func (q Query) Equal(o Query) bool {
+	return q.Agg == o.Agg &&
+		q.Column == o.Column &&
+		q.Table == o.Table &&
+		q.Precision == o.Precision &&
+		q.Confidence == o.Confidence &&
+		q.Method == o.Method &&
+		q.SampleFraction == o.SampleFraction &&
+		q.Seed == o.Seed &&
+		q.HasSeed == o.HasSeed &&
+		q.TimeBudget == o.TimeBudget &&
+		slices.Equal(q.Predicates, o.Predicates) &&
+		q.GroupBy == o.GroupBy
 }
 
 // Parse parses one statement of the dialect described in the package
@@ -121,6 +144,54 @@ type parser struct {
 
 func (p *parser) cur() token  { return p.toks[p.i] }
 func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+// peek returns the token after the current one. Safe whenever cur is not
+// EOF: the stream always ends with a tokEOF sentinel.
+func (p *parser) peek() token {
+	if p.i+1 >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.i+1]
+}
+
+// isCmpKind reports whether kind is a comparison operator token.
+func isCmpKind(kind tokenKind) bool {
+	switch kind {
+	case tokLT, tokLE, tokGT, tokGE, tokEQ, tokNE:
+		return true
+	}
+	return false
+}
+
+// cmpOp maps a comparison token to its operator.
+func cmpOp(kind tokenKind) CmpOp {
+	switch kind {
+	case tokLT:
+		return LT
+	case tokLE:
+		return LE
+	case tokGT:
+		return GT
+	case tokGE:
+		return GE
+	case tokEQ:
+		return EQ
+	default: // tokNE; isCmpKind gates every caller
+		return NE
+	}
+}
+
+// parsePredicate consumes "<ident> <cmp> <number>". The caller has already
+// checked that the next two tokens have that shape's prefix.
+func (p *parser) parsePredicate() (Predicate, error) {
+	col := p.next()
+	op := p.next()
+	v, err := p.number()
+	if err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{Column: col.text, Op: cmpOp(op.kind), Value: v}, nil
+}
 
 func (p *parser) expectKeyword(kw string) error {
 	if !keywordIs(p.cur(), kw) {
@@ -199,6 +270,10 @@ func (p *parser) parseQuery() (Query, error) {
 	// Options: WITH/WHERE PRECISION e | CONFIDENCE b | METHOD m |
 	// SAMPLEFRACTION f | SEED n, in any order. WITH and WHERE are
 	// interchangeable connectives (the paper writes WHERE desired_precision).
+	// A WHERE/AND followed by "<ident> <cmp> <number>" is instead a value
+	// predicate, and GROUP BY names the group column — both may appear
+	// anywhere among the options; the canonical order (String) is
+	// WHERE … GROUP BY … WITH ….
 	for {
 		t := p.cur()
 		switch {
@@ -206,6 +281,19 @@ func (p *parser) parseQuery() (Query, error) {
 			return q, p.finish(q)
 		case keywordIs(t, "WITH"), keywordIs(t, "WHERE"), keywordIs(t, "AND"):
 			p.next()
+		case keywordIs(t, "GROUP"):
+			p.next()
+			if err := p.expectKeyword("BY"); err != nil {
+				return q, err
+			}
+			col, err := p.expect(tokIdent)
+			if err != nil {
+				return q, err
+			}
+			if q.GroupBy != "" {
+				return q, fmt.Errorf("query: duplicate GROUP BY at position %d", t.pos)
+			}
+			q.GroupBy = col.text
 		case keywordIs(t, "PRECISION"):
 			p.next()
 			if q.Precision, err = p.number(); err != nil {
@@ -246,6 +334,15 @@ func (p *parser) parseQuery() (Query, error) {
 			}
 			q.Seed = uint64(v)
 			q.HasSeed = true
+		case t.kind == tokIdent && isCmpKind(p.peek().kind):
+			// Checked after every option keyword, so "PRECISION = 0.5" is
+			// a malformed option, not a predicate on a column named
+			// PRECISION — option keywords cannot be filtered on.
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return q, err
+			}
+			q.Predicates = append(q.Predicates, pred)
 		default:
 			return q, fmt.Errorf("query: unexpected %q at position %d", t.text, t.pos)
 		}
@@ -254,8 +351,41 @@ func (p *parser) parseQuery() (Query, error) {
 
 // finish applies cross-field validation once the token stream is consumed.
 func (p *parser) finish(q Query) error {
-	if q.Agg != COUNT && q.Method != MethodExact && q.Precision <= 0 && q.TimeBudget <= 0 {
+	// An unfiltered COUNT is exact from metadata; a filtered COUNT is an
+	// estimated selectivity count and needs a precision target like AVG.
+	needsPrecision := q.Agg != COUNT || len(q.Predicates) > 0
+	if needsPrecision && q.Method != MethodExact && q.Precision <= 0 && q.TimeBudget <= 0 {
 		return fmt.Errorf("query: %v requires WITH PRECISION e > 0, TIME t > 0 or METHOD EXACT", q.Agg)
+	}
+	if len(q.Predicates) > 0 {
+		if q.Method != MethodISLA && q.Method != MethodExact {
+			return fmt.Errorf("query: WHERE predicates are not supported with METHOD %v", q.Method)
+		}
+		if q.TimeBudget > 0 {
+			return fmt.Errorf("query: TIME cannot be combined with WHERE predicates")
+		}
+		for _, pr := range q.Predicates {
+			// Tables are single-column, so every predicate filters the
+			// aggregated column; COUNT(*) may name it freely but the
+			// conjuncts must agree with each other.
+			if q.Column != "*" && pr.Column != q.Column {
+				return fmt.Errorf("query: predicate column %q does not match aggregated column %q", pr.Column, q.Column)
+			}
+			if pr.Column != q.Predicates[0].Column {
+				return fmt.Errorf("query: predicate columns %q and %q disagree", q.Predicates[0].Column, pr.Column)
+			}
+		}
+	}
+	if q.GroupBy != "" {
+		if q.Method != MethodISLA && q.Method != MethodExact {
+			return fmt.Errorf("query: GROUP BY is not supported with METHOD %v", q.Method)
+		}
+		if q.TimeBudget > 0 {
+			return fmt.Errorf("query: TIME cannot be combined with GROUP BY")
+		}
+		if q.GroupBy == q.Column {
+			return fmt.Errorf("query: GROUP BY column %q is the aggregated column", q.GroupBy)
+		}
 	}
 	if q.TimeBudget < 0 {
 		return fmt.Errorf("query: TIME %v must be positive", q.TimeBudget)

@@ -169,3 +169,92 @@ func TestTokenKindStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestParsePredicates(t *testing.T) {
+	q, err := Parse("SELECT AVG(v) FROM t WHERE v > 10 AND v <= 2e2 WITH PRECISION 0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Predicate{{Column: "v", Op: GT, Value: 10}, {Column: "v", Op: LE, Value: 200}}
+	if len(q.Predicates) != 2 || q.Predicates[0] != want[0] || q.Predicates[1] != want[1] {
+		t.Fatalf("predicates = %+v", q.Predicates)
+	}
+}
+
+func TestParsePredicateOperators(t *testing.T) {
+	for _, tc := range []struct {
+		src string
+		op  CmpOp
+	}{
+		{"v < 1", LT}, {"v <= 1", LE}, {"v > 1", GT}, {"v >= 1", GE},
+		{"v = 1", EQ}, {"v <> 1", NE}, {"v != 1", NE},
+	} {
+		q, err := Parse("SELECT AVG(v) FROM t WHERE " + tc.src + " WITH PRECISION 1")
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		if len(q.Predicates) != 1 || q.Predicates[0].Op != tc.op {
+			t.Fatalf("%s: predicates = %+v", tc.src, q.Predicates)
+		}
+	}
+}
+
+func TestParseGroupBy(t *testing.T) {
+	q, err := Parse("SELECT AVG(v) FROM sales WHERE v > -5 GROUP BY region WITH PRECISION 0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.GroupBy != "region" || len(q.Predicates) != 1 || q.Predicates[0].Value != -5 {
+		t.Fatalf("q = %+v", q)
+	}
+}
+
+func TestParseGroupByExactCount(t *testing.T) {
+	// Unfiltered grouped COUNT stays exact from metadata: no precision needed.
+	if _, err := Parse("SELECT COUNT(v) FROM t GROUP BY g"); err != nil {
+		t.Fatal(err)
+	}
+	// Filtered COUNT is an estimate and needs precision (or EXACT).
+	if _, err := Parse("SELECT COUNT(*) FROM t WHERE v > 0"); err == nil {
+		t.Fatal("filtered COUNT without precision accepted")
+	}
+	if _, err := Parse("SELECT COUNT(*) FROM t WHERE v > 0 METHOD EXACT"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseGroupedFilteredErrors(t *testing.T) {
+	for _, src := range []string{
+		"SELECT AVG(v) FROM t WHERE w > 10 WITH PRECISION 0.1",          // predicate on another column
+		"SELECT COUNT(*) FROM t WHERE v > 0 AND w < 9 WITH PRECISION 1", // conjuncts disagree
+		"SELECT AVG(v) FROM t WHERE v > 10 METHOD US WITH PRECISION 1",  // baseline + predicate
+		"SELECT AVG(v) FROM t GROUP BY g METHOD STS WITH PRECISION 1",   // baseline + group by
+		"SELECT AVG(v) FROM t WHERE v > 10 WITH TIME 1",                 // time + predicate
+		"SELECT AVG(v) FROM t GROUP BY g WITH TIME 1",                   // time + group by
+		"SELECT AVG(v) FROM t GROUP BY v WITH PRECISION 1",              // grouping the value column
+		"SELECT AVG(v) FROM t GROUP BY a GROUP BY b WITH PRECISION 1",   // duplicate group by
+		"SELECT AVG(v) FROM t WHERE v > WITH PRECISION 1",               // missing literal
+		"SELECT AVG(v) FROM t WHERE > 10 WITH PRECISION 1",              // missing column
+		"SELECT AVG(v) FROM t GROUP region WITH PRECISION 1",            // missing BY
+		"SELECT AVG(v) FROM t WHERE v ! 10 WITH PRECISION 1",            // bare !
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestParseOptionKeywordsAreNotPredicateColumns(t *testing.T) {
+	// Option keywords keep their meaning even when followed by a
+	// comparison token: these are malformed options, never predicates on
+	// columns named like options.
+	for _, src := range []string{
+		"SELECT COUNT(*) FROM t METHOD EXACT WHERE PRECISION = 0.5",
+		"SELECT COUNT(*) FROM t WHERE seed > 1 METHOD EXACT",
+		"SELECT COUNT(*) FROM t WHERE time <> 2 METHOD EXACT",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}

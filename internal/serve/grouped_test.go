@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"isla/internal/engine"
+	"isla/internal/group"
+	"isla/internal/stats"
+)
+
+// groupedRows builds region-keyed rows with distinct per-group means.
+func groupedRows(seed uint64) []group.Row {
+	r := stats.NewRNG(seed)
+	specs := []struct {
+		key       string
+		mu, sigma float64
+		n         int
+	}{
+		{"east", 100, 20, 60_000},
+		{"west", 50, 10, 40_000},
+		{"hq", 300, 5, 100},
+	}
+	var rows []group.Row
+	for _, sp := range specs {
+		d := stats.Normal{Mu: sp.mu, Sigma: sp.sigma}
+		for i := 0; i < sp.n; i++ {
+			rows = append(rows, group.Row{Group: sp.key, Value: d.Sample(r)})
+		}
+	}
+	return rows
+}
+
+// newGroupedServer serves a grouped table "sales" keyed by region.
+func newGroupedServer(t *testing.T) (*httptest.Server, *engine.Engine, *group.Store) {
+	t.Helper()
+	g, err := group.BuildColumn("region", groupedRows(3), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := engine.NewCatalog()
+	catalog.RegisterGrouped("sales", g)
+	eng := engine.New(catalog)
+	eng.EnablePlanCache(0)
+	srv, err := New(Config{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, eng, g
+}
+
+func TestGroupedQueryResponse(t *testing.T) {
+	ts, _, _ := newGroupedServer(t)
+	sql := "SELECT AVG(v) FROM sales WHERE v > 40 GROUP BY region WITH PRECISION 0.5 SEED 2"
+	resp, body := postQuery(t, ts.URL, QueryRequest{SQL: sql})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.GroupBy != "region" || len(qr.Groups) != 3 {
+		t.Fatalf("response = %+v", qr)
+	}
+	if qr.Groups[0].Group != "east" || qr.Groups[1].Group != "hq" || qr.Groups[2].Group != "west" {
+		t.Fatalf("group order: %+v", qr.Groups)
+	}
+	for _, gr := range qr.Groups {
+		if gr.Error != "" {
+			t.Fatalf("group %s errored: %s", gr.Group, gr.Error)
+		}
+		if gr.Rows == 0 || gr.Value == 0 {
+			t.Errorf("group %s: %+v", gr.Group, gr)
+		}
+		if gr.Group == "hq" {
+			// Below the small-group threshold: exact filtered scan.
+			if !gr.Exact || gr.CI != nil || gr.Filter != nil {
+				t.Errorf("hq: %+v", gr)
+			}
+			continue
+		}
+		if gr.CI == nil {
+			t.Errorf("group %s: no CI", gr.Group)
+		}
+		if gr.Filter == nil || gr.Filter.Drawn == 0 || gr.Filter.Selectivity <= 0 {
+			t.Errorf("group %s: filter = %+v", gr.Group, gr.Filter)
+		}
+	}
+	// Warm repeat: every group must hit its cached pilot and agree exactly.
+	_, body2 := postQuery(t, ts.URL, QueryRequest{SQL: sql})
+	var warm QueryResponse
+	if err := json.Unmarshal(body2, &warm); err != nil {
+		t.Fatal(err)
+	}
+	for i, gr := range warm.Groups {
+		if !gr.Exact && !gr.PilotCached {
+			t.Errorf("warm group %s missed the plan cache", gr.Group)
+		}
+		if gr.Value != qr.Groups[i].Value {
+			t.Errorf("group %s: warm %v != cold %v", gr.Group, gr.Value, qr.Groups[i].Value)
+		}
+	}
+}
+
+// TestGroupedPerGroupErrors: a group with no matching rows reports its
+// error in its own row; the response stays 200 and siblings answer.
+func TestGroupedPerGroupErrors(t *testing.T) {
+	ts, _, _ := newGroupedServer(t)
+	// v > 200 keeps only hq (mu 300); east and west should fail with
+	// no-matching-rows.
+	sql := "SELECT AVG(v) FROM sales WHERE v > 200 GROUP BY region WITH PRECISION 0.5 SEED 4"
+	resp, body := postQuery(t, ts.URL, QueryRequest{SQL: sql})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	failed, ok := 0, 0
+	for _, gr := range qr.Groups {
+		if gr.Error != "" {
+			failed++
+			continue
+		}
+		ok++
+		if gr.Group != "hq" {
+			t.Errorf("unexpected surviving group %+v", gr)
+		}
+	}
+	if failed != 2 || ok != 1 {
+		t.Fatalf("failed=%d ok=%d: %+v", failed, ok, qr.Groups)
+	}
+}
+
+func TestTablesReportsGroups(t *testing.T) {
+	ts, _, g := newGroupedServer(t)
+	var infos []TableInfo
+	if resp := getJSON(t, ts.URL+"/tables", &infos); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(infos) != 1 || infos[0].Groups != len(g.Groups()) || infos[0].GroupColumn != "region" {
+		t.Fatalf("infos = %+v", infos)
+	}
+}
+
+// TestGroupedConcurrentStress hammers the server with concurrent grouped
+// and filtered queries (plan cache enabled) while one goroutine keeps
+// re-registering the grouped table mid-flight. Every successful answer
+// must be bit-identical to the sequential baseline for its statement —
+// same seed, same data ⇒ same per-group answers, cached pilot or not,
+// mid-registration or not. Runs under -race in CI.
+func TestGroupedConcurrentStress(t *testing.T) {
+	ts, eng, g := newGroupedServer(t)
+
+	queries := []string{
+		"SELECT AVG(v) FROM sales GROUP BY region WITH PRECISION 0.5 SEED 1",
+		"SELECT AVG(v) FROM sales GROUP BY region WITH PRECISION 0.5 SEED 2",
+		"SELECT SUM(v) FROM sales WHERE v > 40 GROUP BY region WITH PRECISION 0.5 SEED 3",
+		"SELECT AVG(v) FROM sales WHERE v > 45 GROUP BY region WITH PRECISION 0.5 SEED 4",
+		"SELECT COUNT(v) FROM sales GROUP BY region",
+		"SELECT AVG(v) FROM sales GROUP BY region METHOD EXACT",
+	}
+	// Sequential golden answers on an identical isolated engine. The plan
+	// cache changes the pre-estimation discipline (per-block §VII-C), so
+	// the reference engine must enable it too; cold and warm frozen runs
+	// are bit-identical, so the golden does not depend on cache state.
+	golden := make(map[string][]engine.GroupResult)
+	{
+		cat := engine.NewCatalog()
+		cat.RegisterGrouped("sales", g)
+		ref := engine.New(cat)
+		ref.EnablePlanCache(0)
+		for _, q := range queries {
+			res, err := ref.ExecuteSQL(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden[q] = res.Groups
+		}
+	}
+
+	stop := make(chan struct{})
+	var reg sync.WaitGroup
+	reg.Add(1)
+	go func() {
+		defer reg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Same data, new generation: invalidates every per-group pilot
+			// mid-flight without changing any answer.
+			eng.Catalog.RegisterGrouped("sales", g)
+		}
+	}()
+
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				sql := queries[(w+i)%len(queries)]
+				resp, body := postQuery(t, ts.URL, QueryRequest{SQL: sql})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d: %s", resp.StatusCode, body)
+					return
+				}
+				var qr QueryResponse
+				if err := json.Unmarshal(body, &qr); err != nil {
+					t.Error(err)
+					return
+				}
+				want := golden[sql]
+				if len(qr.Groups) != len(want) {
+					t.Errorf("%s: %d groups, want %d", sql, len(qr.Groups), len(want))
+					return
+				}
+				for gi, gr := range qr.Groups {
+					if gr.Error != "" {
+						t.Errorf("%s group %s: %s", sql, gr.Group, gr.Error)
+						return
+					}
+					if gr.Group != want[gi].Group || gr.Value != want[gi].Value || gr.Samples != want[gi].Samples {
+						t.Errorf("%s group %s: %v/%d != golden %v/%d",
+							sql, gr.Group, gr.Value, gr.Samples, want[gi].Value, want[gi].Samples)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	reg.Wait()
+
+	// The engine's counters moved and the catalog is still coherent.
+	var st StatsResponse
+	if resp := getJSON(t, ts.URL+"/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	if st.Served < int64(workers*20) {
+		t.Fatalf("served = %d", st.Served)
+	}
+	if _, err := eng.Catalog.Lookup("sales"); err != nil {
+		t.Fatal(err)
+	}
+}

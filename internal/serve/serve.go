@@ -109,18 +109,45 @@ type CIResponse struct {
 	Hi         float64 `json:"hi"`
 }
 
-// QueryResponse is the POST /query answer.
+// QueryResponse is the POST /query answer. GROUP BY statements answer in
+// Groups (one row per group key, sorted; the top-level value is then
+// zero); WHERE statements carry their selectivity diagnostics in Filter.
 type QueryResponse struct {
-	SQL         string      `json:"sql"`
-	Value       float64     `json:"value"`
-	Method      string      `json:"method"`
-	Rows        int64       `json:"rows"`
-	Samples     int64       `json:"samples"`
-	DurationMS  float64     `json:"duration_ms"`
-	Truncated   bool        `json:"truncated,omitempty"`
-	CI          *CIResponse `json:"ci,omitempty"`
-	PilotCached bool        `json:"pilot_cached,omitempty"`
-	PilotSize   int64       `json:"pilot_size,omitempty"`
+	SQL         string          `json:"sql"`
+	Value       float64         `json:"value"`
+	Method      string          `json:"method"`
+	Rows        int64           `json:"rows"`
+	Samples     int64           `json:"samples"`
+	DurationMS  float64         `json:"duration_ms"`
+	Truncated   bool            `json:"truncated,omitempty"`
+	CI          *CIResponse     `json:"ci,omitempty"`
+	PilotCached bool            `json:"pilot_cached,omitempty"`
+	PilotSize   int64           `json:"pilot_size,omitempty"`
+	GroupBy     string          `json:"group_by,omitempty"`
+	Groups      []GroupResponse `json:"groups,omitempty"`
+	Filter      *FilterResponse `json:"filter,omitempty"`
+}
+
+// GroupResponse is one group's row in a grouped answer. A group that
+// failed carries its error and zero values — its siblings still answer,
+// and the HTTP status stays 200.
+type GroupResponse struct {
+	Group       string          `json:"group"`
+	Value       float64         `json:"value"`
+	Rows        int64           `json:"rows"`
+	Samples     int64           `json:"samples,omitempty"`
+	Exact       bool            `json:"exact,omitempty"`
+	PilotCached bool            `json:"pilot_cached,omitempty"`
+	CI          *CIResponse     `json:"ci,omitempty"`
+	Filter      *FilterResponse `json:"filter,omitempty"`
+	Error       string          `json:"error,omitempty"`
+}
+
+// FilterResponse reports predicate rejection-sampling diagnostics.
+type FilterResponse struct {
+	Drawn       int64   `json:"drawn"`
+	Accepted    int64   `json:"accepted"`
+	Selectivity float64 `json:"selectivity"`
 }
 
 // ErrorResponse is the JSON error envelope.
@@ -219,12 +246,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		DurationMS: float64(res.Duration.Microseconds()) / 1000,
 		Truncated:  res.Truncated,
 		CI:         ciResponse(res.CI),
+		GroupBy:    res.Query.GroupBy,
+		Filter:     filterResponse(res.Filter),
 	}
 	if res.Detail != nil {
 		resp.PilotCached = res.Detail.PilotCached
 		resp.PilotSize = res.Detail.Pilot.PilotSize
 	}
+	for _, gr := range res.Groups {
+		resp.Groups = append(resp.Groups, GroupResponse{
+			Group:       gr.Group,
+			Value:       gr.Value,
+			Rows:        gr.Rows,
+			Samples:     gr.Samples,
+			Exact:       gr.Exact,
+			PilotCached: gr.PilotCached,
+			CI:          ciResponse(gr.CI),
+			Filter:      filterResponse(gr.Filter),
+			Error:       gr.Err,
+		})
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func filterResponse(fi *engine.FilterInfo) *FilterResponse {
+	if fi == nil {
+		return nil
+	}
+	return &FilterResponse{Drawn: fi.Drawn, Accepted: fi.Accepted, Selectivity: fi.Selectivity}
 }
 
 func ciResponse(ci *stats.ConfidenceInterval) *CIResponse {
@@ -240,11 +289,14 @@ func ciResponse(ci *stats.ConfidenceInterval) *CIResponse {
 	}
 }
 
-// TableInfo is one row of GET /tables.
+// TableInfo is one row of GET /tables. Grouped tables report their group
+// count and group column.
 type TableInfo struct {
-	Name   string `json:"name"`
-	Rows   int64  `json:"rows"`
-	Blocks int    `json:"blocks"`
+	Name        string `json:"name"`
+	Rows        int64  `json:"rows"`
+	Blocks      int    `json:"blocks"`
+	Groups      int    `json:"groups,omitempty"`
+	GroupColumn string `json:"group_column,omitempty"`
 }
 
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
@@ -260,11 +312,16 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			continue // raced with a concurrent drop; skip
 		}
-		infos = append(infos, TableInfo{
+		info := TableInfo{
 			Name:   n,
 			Rows:   tbl.Store.TotalLen(),
 			Blocks: tbl.Store.NumBlocks(),
-		})
+		}
+		if tbl.Groups != nil {
+			info.Groups = len(tbl.Groups.Groups())
+			info.GroupColumn = tbl.Groups.Column()
+		}
+		infos = append(infos, info)
 	}
 	writeJSON(w, http.StatusOK, infos)
 }

@@ -1,0 +1,31 @@
+package groupspec
+
+import "testing"
+
+func TestFromSpec(t *testing.T) {
+	name, g, err := FromSpec("sales=region;east:normal:mu=100,sigma=20,n=5000,blocks=4;west:exp:gamma=0.5,n=3000,blocks=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "sales" || g.Column() != "region" {
+		t.Fatalf("name=%q column=%q", name, g.Column())
+	}
+	keys := g.Groups()
+	if len(keys) != 2 || keys[0] != "east" || keys[1] != "west" {
+		t.Fatalf("keys = %v", keys)
+	}
+	if g.TotalLen() != 8000 {
+		t.Fatalf("total = %d", g.TotalLen())
+	}
+	for _, bad := range []string{
+		"noeq",
+		"t=colonly",
+		"t=c;keyonly",
+		"t=c;a:normal:n=10;a:normal:n=10",
+		"t=c;a:nosuchdist:n=10",
+	} {
+		if _, _, err := FromSpec(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

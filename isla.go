@@ -218,18 +218,60 @@ func NewCoordinator(cfg Config) *Coordinator { return cluster.NewCoordinator(cfg
 // GroupRow is one (group key, value) observation for grouped aggregation.
 type GroupRow = group.Row
 
-// GroupResult is one group's approximate average.
+// GroupResult is one group's approximate aggregate.
 type GroupResult = group.GroupResult
+
+// GroupStore is a grouped column: one block store per group key, plus a
+// combined view for ungrouped queries on the same table.
+type GroupStore = group.Store
+
+// GroupAgg selects the grouped aggregate for GroupAggregate.
+type GroupAgg = group.Agg
+
+// Grouped aggregates: AVG per group, SUM as AVG·|group|, COUNT exact.
+const (
+	AggAVG   = group.AggAVG
+	AggSUM   = group.AggSUM
+	AggCOUNT = group.AggCOUNT
+)
 
 // GroupAVG estimates per-group averages (the GROUP BY extension of
 // §VII-D): rows are partitioned by key, each large group runs ISLA, small
 // groups are scanned exactly. Results are sorted by group key.
 func GroupAVG(rows []GroupRow, blocks int, cfg Config) ([]GroupResult, error) {
+	return GroupAggregate(rows, blocks, AggAVG, cfg)
+}
+
+// GroupAggregate estimates any of the three aggregates per group.
+func GroupAggregate(rows []GroupRow, blocks int, agg GroupAgg, cfg Config) ([]GroupResult, error) {
 	g, err := group.Build(rows, blocks)
 	if err != nil {
 		return nil, err
 	}
-	return group.AVG(g, cfg, group.Options{})
+	return group.Aggregate(g, agg, cfg, group.Options{})
+}
+
+// BuildGroups partitions rows into a grouped store whose group column is
+// named column (what a SQL GROUP BY must reference), with up to
+// blocksPerGroup blocks per group.
+func BuildGroups(column string, rows []GroupRow, blocksPerGroup int) (*GroupStore, error) {
+	return group.BuildColumn(column, rows, blocksPerGroup)
+}
+
+// WriteGroupFiles writes rows as per-group partitioned ISLB v2 block files
+// under dir plus a manifest.json describing them, and returns the manifest
+// path. OpenGroupManifest (or islacli/islaserv -loadgroup) serves grouped
+// queries from those files — including summary-served pre-estimation,
+// since every block carries a persisted summary footer.
+func WriteGroupFiles(dir, column string, rows []GroupRow, blocksPerGroup int) (string, error) {
+	return group.WriteFiles(dir, column, rows, blocksPerGroup)
+}
+
+// OpenGroupManifest opens a grouped table previously written by
+// WriteGroupFiles in the given open mode. Close the store to release the
+// mappings/handles.
+func OpenGroupManifest(path string, mode OpenMode) (*GroupStore, error) {
+	return group.OpenManifest(path, mode)
 }
 
 // LoadText reads a one-value-per-line text file into a partitioned store
@@ -293,6 +335,23 @@ func (db *DB) PlanCacheStats() (PlanCacheStats, bool) {
 // RegisterStore registers a block store as a named table.
 func (db *DB) RegisterStore(name string, s *Store) { db.engine.Catalog.Register(name, s) }
 
+// RegisterGrouped registers a grouped store as a named table: GROUP BY
+// queries answer per group, ungrouped queries aggregate the combined view.
+func (db *DB) RegisterGrouped(name string, g *GroupStore) {
+	db.engine.Catalog.RegisterGrouped(name, g)
+}
+
+// RegisterGroupedRows partitions (group, value) rows into a grouped table
+// whose group column is named column.
+func (db *DB) RegisterGroupedRows(name, column string, rows []GroupRow, blocksPerGroup int) error {
+	g, err := group.BuildColumn(column, rows, blocksPerGroup)
+	if err != nil {
+		return err
+	}
+	db.engine.Catalog.RegisterGrouped(name, g)
+	return nil
+}
+
 // RegisterSlice partitions data into b blocks and registers it as a table.
 func (db *DB) RegisterSlice(name string, data []float64, b int) {
 	db.engine.Catalog.Register(name, block.Partition(data, b))
@@ -323,3 +382,9 @@ func (db *DB) ExecuteContext(ctx context.Context, q Query) (QueryResult, error) 
 // as-is. Purely a speed knob — answers do not depend on it. Safe to call
 // while queries are executing.
 func (db *DB) SetWorkers(n int) { db.engine.SetWorkers(n) }
+
+// SetGroupExactThreshold sets the small-group exact fallback for GROUP BY
+// queries: groups with at most n rows are scanned exactly instead of
+// sampled. Zero (the default) means group.DefaultExactThreshold (2000);
+// negative disables the fallback so every group runs the estimator.
+func (db *DB) SetGroupExactThreshold(n int64) { db.engine.SetGroupExactThreshold(n) }
