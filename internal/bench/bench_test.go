@@ -195,3 +195,53 @@ func TestGroupedBench(t *testing.T) {
 		t.Fatalf("warm run missed the cache: %+v", stats[1])
 	}
 }
+
+// TestFilteredBench: the sweep covers every (layout, selectivity, path)
+// cell, and per cell the fused and post-gather legs accept the same values
+// — they are the same sampling plan, only the kernel differs.
+func TestFilteredBench(t *testing.T) {
+	fs, err := Filtered(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := map[string]int64{}
+	for _, s := range fs {
+		if s.Samples == 0 || s.NsPerSample <= 0 {
+			t.Fatalf("degenerate stat %+v", s)
+		}
+		key := s.Layout + "/" + strconv.FormatFloat(s.Selectivity, 'g', -1, 64)
+		if prev, ok := accepted[key]; ok {
+			if prev != s.Accepted {
+				t.Fatalf("%s: paths accepted %d vs %d values", key, prev, s.Accepted)
+			}
+		} else {
+			accepted[key] = s.Accepted
+		}
+		// The target selectivity should be roughly realized.
+		got := float64(s.Accepted) / float64(s.Samples)
+		if got < s.Selectivity*0.8-0.01 || got > s.Selectivity*1.2+0.01 {
+			t.Fatalf("%s: realized selectivity %v, target %v", key, got, s.Selectivity)
+		}
+	}
+}
+
+// TestPruningBench: pruning must move work, not answers.
+func TestPruningBench(t *testing.T) {
+	ps, err := Pruning(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 || ps[0].Mode != "pruned" || ps[1].Mode != "unpruned" {
+		t.Fatalf("stats = %+v", ps)
+	}
+	pruned, full := ps[0], ps[1]
+	if pruned.Estimate != full.Estimate || pruned.Planned != full.Planned || pruned.Accepted != full.Accepted {
+		t.Fatalf("pruning changed the answer: %+v vs %+v", pruned, full)
+	}
+	if pruned.PrunedBlocks == 0 || pruned.Drawn >= full.Drawn {
+		t.Fatalf("pruning saved nothing: %+v vs %+v", pruned, full)
+	}
+	if full.PrunedBlocks != 0 || full.Drawn != full.Planned {
+		t.Fatalf("unpruned leg still pruned: %+v", full)
+	}
+}

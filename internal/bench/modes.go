@@ -38,6 +38,12 @@ type ModesReport struct {
 	// Grouped is the cold-vs-warm per-group plan cache comparison for a
 	// GROUP BY query; see Grouped.
 	Grouped []GroupedStat `json:"grouped"`
+	// Filtered is the post-gather-vs-fused filtered sampling sweep across
+	// storage layouts and selectivities; see Filtered.
+	Filtered []FilteredStat `json:"filtered"`
+	// Pruning is the zone-map pruning on/off comparison on
+	// range-partitioned block files; see Pruning.
+	Pruning []PruningStat `json:"pruning"`
 }
 
 // Modes runs all five execution modes — batch, parallel, online,
@@ -125,6 +131,14 @@ func Modes(o Options) (*ModesReport, error) {
 		return nil, err
 	}
 	rep.Grouped, err = Grouped(o)
+	if err != nil {
+		return nil, err
+	}
+	rep.Filtered, err = Filtered(o)
+	if err != nil {
+		return nil, err
+	}
+	rep.Pruning, err = Pruning(o)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,9 @@
 package block
 
 import (
+	"io"
+	"math"
+	"path/filepath"
 	"testing"
 
 	"isla/internal/stats"
@@ -88,6 +91,165 @@ func TestPilotSampleFilteredChunks(t *testing.T) {
 	}
 	if acc == 0 || acc >= 1000 {
 		t.Fatalf("accepted = %d", acc)
+	}
+}
+
+// TestSampleFilteredIntervalBitIdentical: the fused kernel must accept
+// exactly the value stream of the post-gather closure path — same raw
+// draws, same accepted values in order, same RNG state afterwards — on
+// every storage layout, including the generic fallback for blocks without
+// the capability.
+func TestSampleFilteredIntervalBitIdentical(t *testing.T) {
+	data := make([]float64, 50_000)
+	for i := range data {
+		data[i] = float64(i%1000) / 10
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "col.000")
+	if err := WriteFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	pread, err := Open(1, path, ModePread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pread.(io.Closer).Close()
+
+	mem := NewMemBlock(0, data)
+	blocks := map[string]Block{
+		"mem":      mem,
+		"pread":    pread,
+		"fallback": scalarOnly{mem}, // no BatchSampler, no IntervalSampler
+	}
+	if MmapSupported() {
+		mm, err := Open(2, path, ModeMmap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mm.(io.Closer).Close()
+		blocks["mmap"] = mm
+	}
+
+	const m = 40_000 // several chunks
+	for _, iv := range []struct{ lo, hi float64 }{
+		{25, 75}, {0, 99.9}, {90, 95}, {1e9, 2e9}, {99.9, 99.9},
+	} {
+		pred := func(v float64) bool { return iv.lo <= v && v <= iv.hi }
+		for name, blk := range blocks {
+			r1, r2 := stats.NewRNG(11), stats.NewRNG(11)
+			var post, fused []float64
+			accPost, err := SampleFilteredChunks(blk, r1, m, pred, func(vs []float64) error {
+				post = append(post, vs...)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			accFused, err := SampleFilteredIntervalChunks(blk, r2, m, iv.lo, iv.hi, func(vs []float64) error {
+				fused = append(fused, vs...)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if accPost != accFused || len(post) != len(fused) {
+				t.Fatalf("%s [%g,%g]: accepted %d (fused) vs %d (post-gather)",
+					name, iv.lo, iv.hi, accFused, accPost)
+			}
+			for i := range post {
+				if post[i] != fused[i] {
+					t.Fatalf("%s [%g,%g]: value %d differs: %v vs %v",
+						name, iv.lo, iv.hi, i, fused[i], post[i])
+				}
+			}
+			if r1.Uint64() != r2.Uint64() {
+				t.Fatalf("%s [%g,%g]: RNG states diverged", name, iv.lo, iv.hi)
+			}
+		}
+	}
+}
+
+func TestSampleFilteredIntervalEmptyBlock(t *testing.T) {
+	b := NewMemBlock(0, nil)
+	if _, err := b.SampleFilteredInterval(stats.NewRNG(1), 5, 0, 1, nil); err != ErrEmptyBlock {
+		t.Fatalf("err = %v, want ErrEmptyBlock", err)
+	}
+	if n, err := b.SampleFilteredInterval(stats.NewRNG(1), 0, 0, 1, nil); n != 0 || err != nil {
+		t.Fatalf("zero draws: n=%d err=%v", n, err)
+	}
+}
+
+func TestSummaryClassify(t *testing.T) {
+	nan := math.NaN()
+	sum := ComputeSummary([]float64{10, 20, 30})
+	cases := []struct {
+		name   string
+		s      Summary
+		lo, hi float64
+		want   SummaryClass
+	}{
+		{"contained", sum, 5, 35, SummaryContained},
+		{"contained exact bounds", sum, 10, 30, SummaryContained},
+		{"disjoint above", sum, 31, 100, SummaryDisjoint},
+		{"disjoint below", sum, -100, 9, SummaryDisjoint},
+		{"overlap straddling", sum, 15, 100, SummaryOverlap},
+		{"overlap inside", sum, 15, 25, SummaryOverlap},
+		{"empty summary", Summary{}, 0, 1, SummaryDisjoint},
+		// A NaN in the data poisons Sum: the envelope may still prove
+		// disjointness (NaN matches nothing), but never containment.
+		{"nan poisons containment", ComputeSummary([]float64{10, nan, 30}), 5, 35, SummaryOverlap},
+		{"nan still disjoint", ComputeSummary([]float64{10, nan, 30}), 100, 200, SummaryDisjoint},
+		// All-NaN envelope proves nothing.
+		{"nan envelope", ComputeSummary([]float64{nan, nan}), 0, 1, SummaryOverlap},
+	}
+	for _, c := range cases {
+		if got := c.s.Classify(c.lo, c.hi); got != c.want {
+			t.Errorf("%s: Classify(%g, %g) = %v, want %v", c.name, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+// TestGoldenV2Classification is the pruning guard: the summary footer of
+// the committed v2 fixture must classify correctly in both open modes. If
+// a format change ever stops footers from being read (summOK false), the
+// classification falls back to overlap and this test fails — a footer
+// regression cannot silently disable zone-map pruning.
+func TestGoldenV2Classification(t *testing.T) {
+	// fixtureValues envelope: Min -17, Max 1e6, finite Sum.
+	modes := []OpenMode{ModePread}
+	if MmapSupported() {
+		modes = append(modes, ModeMmap)
+	}
+	for _, mode := range modes {
+		b, err := Open(0, "testdata/v2-golden.islb", mode)
+		if err != nil {
+			t.Fatalf("mode=%v: %v", mode, err)
+		}
+		sum, ok := BlockSummary(b)
+		if !ok {
+			t.Fatalf("mode=%v: v2 fixture carries no summary — footer parsing regressed, pruning is disabled", mode)
+		}
+		if sum.Count != b.Len() {
+			t.Fatalf("mode=%v: footer count %d != block length %d", mode, sum.Count, b.Len())
+		}
+		for _, c := range []struct {
+			lo, hi float64
+			want   SummaryClass
+		}{
+			{2e6, math.Inf(1), SummaryDisjoint},
+			{math.Inf(-1), -20, SummaryDisjoint},
+			{-17, 1e6, SummaryContained},
+			{math.Inf(-1), math.Inf(1), SummaryContained},
+			{0, 10, SummaryOverlap},
+			{-17, 10, SummaryOverlap},
+		} {
+			if got := sum.Classify(c.lo, c.hi); got != c.want {
+				t.Errorf("mode=%v: Classify(%g, %g) = %v, want %v", mode, c.lo, c.hi, got, c.want)
+			}
+		}
+		if err := b.(io.Closer).Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -137,6 +137,61 @@ func (s Summary) SampleVariance() float64 {
 // SampleStdDev returns the Bessel-corrected standard deviation.
 func (s Summary) SampleStdDev() float64 { return math.Sqrt(s.SampleVariance()) }
 
+// SummaryClass is the zone-map classification of a block's value envelope
+// against a closed predicate interval [lo, hi]: whether the persisted
+// min/max prove something about every value in the block.
+type SummaryClass int
+
+const (
+	// SummaryOverlap: the envelope straddles the interval (or proves
+	// nothing) — the block must be sampled through the filter.
+	SummaryOverlap SummaryClass = iota
+	// SummaryDisjoint: no value in the block can satisfy the interval; the
+	// block contributes an exact zero without being touched.
+	SummaryDisjoint
+	// SummaryContained: every value in the block satisfies the interval;
+	// the block samples through the unfiltered fast path with acceptance
+	// probability exactly 1.
+	SummaryContained
+)
+
+// String returns the diagnostic spelling of the class.
+func (c SummaryClass) String() string {
+	switch c {
+	case SummaryDisjoint:
+		return "disjoint"
+	case SummaryContained:
+		return "contained"
+	default:
+		return "overlap"
+	}
+}
+
+// Classify compares the summary's [Min, Max] envelope against the closed
+// interval [lo, hi]. The classification is conservative in every edge
+// case the footer cannot rule out:
+//
+//   - An empty summary is disjoint (vacuously, no value matches).
+//   - NaN values never satisfy an interval and never enter Min/Max, so a
+//     disjoint verdict from the non-NaN envelope holds for the whole
+//     block; but SummaryContained additionally requires Sum to be non-NaN
+//     — a NaN anywhere in the data poisons Sum, so a finite Sum proves the
+//     block is NaN-free and the envelope really covers every value.
+//   - A NaN Min or Max (all-NaN block prefix) fails every comparison and
+//     lands on SummaryOverlap, the always-safe answer.
+func (s Summary) Classify(lo, hi float64) SummaryClass {
+	if s.Count == 0 {
+		return SummaryDisjoint
+	}
+	if s.Max < lo || s.Min > hi {
+		return SummaryDisjoint
+	}
+	if lo <= s.Min && s.Max <= hi && !math.IsNaN(s.Sum) {
+		return SummaryContained
+	}
+	return SummaryOverlap
+}
+
 // Checksum returns the CRC-32C of the summary's canonical footer encoding —
 // the value persisted in (and verified against) a v2 footer. Plan caches
 // key derived state by it so a changed summary invalidates cleanly.

@@ -144,3 +144,77 @@ func BenchmarkMmapSampleScalar(b *testing.B) {
 func BenchmarkMmapSampleBatch(b *testing.B) {
 	runBatch(b, benchMmapBlock(b, 1_000_000))
 }
+
+// Filtered pairs: the post-gather closure path (gather a chunk, reject
+// through func(float64) bool) against the fused interval kernel (compare
+// and select inside the gather loop). benchData values cycle over
+// [0.25, 999.25], so [lo, hi] = [900, 1000] keeps ~10% — the selective
+// regime the zone-map/fused-kernel work targets.
+const benchFilterLo, benchFilterHi = 900, 1000
+
+func runFilteredPostGather(b *testing.B, blk Block) {
+	b.Helper()
+	r := stats.NewRNG(1)
+	pred := func(v float64) bool { return v >= benchFilterLo && v <= benchFilterHi }
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := SampleFilteredChunks(blk, r, benchDraws, pred, func(vs []float64) error {
+			for _, v := range vs {
+				sink += v
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportPerSample(b)
+	_ = sink
+}
+
+func runFilteredFused(b *testing.B, blk Block) {
+	b.Helper()
+	r := stats.NewRNG(1)
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := SampleFilteredIntervalChunks(blk, r, benchDraws, benchFilterLo, benchFilterHi, func(vs []float64) error {
+			for _, v := range vs {
+				sink += v
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportPerSample(b)
+	_ = sink
+}
+
+func BenchmarkMemFilteredSamplePostGather(b *testing.B) {
+	runFilteredPostGather(b, NewMemBlock(0, benchData(1_000_000)))
+}
+
+func BenchmarkMemFilteredSampleFused(b *testing.B) {
+	runFilteredFused(b, NewMemBlock(0, benchData(1_000_000)))
+}
+
+func BenchmarkFileFilteredSamplePostGather(b *testing.B) {
+	runFilteredPostGather(b, benchFileBlock(b, 1_000_000))
+}
+
+func BenchmarkFileFilteredSampleFused(b *testing.B) {
+	runFilteredFused(b, benchFileBlock(b, 1_000_000))
+}
+
+func BenchmarkMmapFilteredSamplePostGather(b *testing.B) {
+	runFilteredPostGather(b, benchMmapBlock(b, 1_000_000))
+}
+
+func BenchmarkMmapFilteredSampleFused(b *testing.B) {
+	runFilteredFused(b, benchMmapBlock(b, 1_000_000))
+}

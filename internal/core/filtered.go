@@ -1,15 +1,29 @@
 // Predicate-filtered estimation: AVG/SUM/COUNT restricted to the rows
 // matching a WHERE conjunction. The sampling fast path stays untouched —
-// the estimator draws the planned raw samples per block exactly as the
-// unfiltered path would (identical RNG stream, SampleInto-level batched
-// gather) and rejects non-matching values after the gather. The sampled
-// acceptance fraction p̂_i of each block corrects the partial answers
-// Horvitz–Thompson style: the block's matching-row mass is estimated as
-// p̂_i·|B_i|, so the combined AVG is the self-normalized ratio
+// the estimator plans the raw samples per block exactly as the unfiltered
+// path would and rejects non-matching values at gather time: interval
+// filters run the fused gather kernel (compare-and-select inside the
+// gather loop), general predicates reject through the closure after the
+// gather. The sampled acceptance fraction p̂_i of each block corrects the
+// partial answers Horvitz–Thompson style: the block's matching-row mass is
+// estimated as p̂_i·|B_i|, so the combined AVG is the self-normalized ratio
 // Σ mean_i·p̂_i·|B_i| / Σ p̂_i·|B_i|, COUNT is Σ p̂_i·|B_i| and SUM their
 // product — each unbiased in the HT sense under uniform with-replacement
-// block sampling. Per-block seeds are derived before dispatch on the exec
-// runtime, so answers are bit-identical for every worker count.
+// block sampling.
+//
+// Zone-map pruning rides on the persisted per-block summaries (ISLB v2
+// footers): a block whose [Min, Max] envelope is disjoint from the
+// predicate interval contributes an exact zero — its planned draws would
+// all be rejected, so the estimator books them as 0-of-q accepted without
+// touching the block; a block whose envelope is contained in the interval
+// samples through the unfiltered fast path with acceptance probability
+// exactly 1. Pruning cannot change any answer bit: both the pilot and the
+// calculation phase derive one seed per quota-bearing block from the
+// master stream whether the block is pruned or not, and a pruned block's
+// synthesized outcome (0 of q, or q of q via the unfiltered gather of the
+// same raw index stream) is exactly what sampling it through the filter
+// would produce. Only the physically-drawn counts differ — pruned blocks
+// report zero samples drawn.
 package core
 
 import (
@@ -30,20 +44,36 @@ var ErrNoMatch = errors.New("core: no sampled row satisfies the predicate")
 
 // FilterPilot is the pre-estimation state of a filtered run, frozen for
 // reuse: the conditional statistics of the accepted pilot draws, the
-// observed acceptance fraction, and the RNG state after the pilot consumed
-// its draws. The pilot's raw draw count depends only on the seed, the data
-// and the predicate — never on the per-query precision — so one frozen
-// filter pilot serves every precision/confidence combination on the same
-// table, seed and predicate.
+// observed acceptance fraction, the zone-map classification of every
+// block, and the RNG state after the pilot consumed its draws. The pilot's
+// raw draw count depends only on the seed, the data and the predicate —
+// never on the per-query precision — so one frozen filter pilot serves
+// every precision/confidence combination on the same table, seed and
+// predicate.
 type FilterPilot struct {
 	// Mean and Sigma are the conditional mean and standard deviation of
 	// the accepted pilot values.
 	Mean, Sigma float64
 	// Selectivity is Accepted/Drawn — the sampled estimate of the
-	// predicate's acceptance probability.
+	// predicate's acceptance probability. Planned draws booked against
+	// pruned-disjoint blocks count in the denominator: the zone map proves
+	// they would have been rejected.
 	Selectivity float64
-	// Drawn and Accepted count the pilot's raw draws and survivors.
+	// Drawn and Accepted count the pilot's planned raw draws and
+	// survivors. PrunedDraws of the Drawn were never physically serviced —
+	// they were booked as rejected against disjoint blocks.
 	Drawn, Accepted int64
+	// PrunedDraws counts planned pilot draws resolved by zone maps instead
+	// of sampling.
+	PrunedDraws int64
+	// Lo, Hi and HasInterval echo the filter the pilot was frozen for;
+	// EstimateFilteredFrozen refuses a mismatching filter.
+	Lo, Hi      float64
+	HasInterval bool
+	// Classes is the zone-map classification per block (nil when pruning
+	// did not apply). Frozen with the pilot so a plan-cache hit reuses the
+	// classification decisions, keyed by the store's summary checksum.
+	Classes []block.SummaryClass
 	// RNG is the generator state after the pilot's draws; resuming it
 	// yields the exact stream a cold run would use for per-block seeds.
 	RNG stats.RNGState
@@ -55,11 +85,13 @@ type FilterPilot struct {
 
 // BlockFilterResult is one block's filtered partial answer.
 type BlockFilterResult struct {
-	BlockID  int
-	Len      int64
-	Drawn    int64   // raw draws serviced by the block
-	Accepted int64   // draws that passed the predicate
-	Mean     float64 // conditional mean of the accepted draws (0 when none)
+	BlockID int
+	Len     int64
+	Class   block.SummaryClass
+	Planned int64   // raw draws the plan allocated to the block
+	Drawn   int64   // raw draws physically serviced (0 when pruned)
+	Accepted int64  // draws that passed the predicate
+	Mean    float64 // conditional mean of the accepted draws (0 when none)
 }
 
 // FilteredResult is the outcome of a filtered estimation run.
@@ -70,7 +102,8 @@ type FilteredResult struct {
 	Sum float64
 	// Count estimates the number of matching rows, Σ p̂_i·|B_i|.
 	Count float64
-	// Selectivity is the calculation phase's overall acceptance fraction.
+	// Selectivity is the calculation phase's overall acceptance fraction
+	// over planned draws.
 	Selectivity float64
 	// CI bounds Avg at the configured confidence.
 	CI stats.ConfidenceInterval
@@ -79,9 +112,14 @@ type FilteredResult struct {
 	// SumCI bounds Sum: a first-order bound combining the Avg and Count
 	// interval half-widths, conservative by construction.
 	SumCI stats.ConfidenceInterval
-	// Drawn and Accepted count the calculation phase's raw draws and
-	// survivors (the pilot's are in Pilot).
-	Drawn, Accepted int64
+	// Planned counts the calculation phase's allocated raw draws; Drawn
+	// the physically serviced subset (they differ exactly by the draws
+	// booked against pruned-disjoint blocks); Accepted the survivors. The
+	// pilot's counts are in Pilot.
+	Planned, Drawn, Accepted int64
+	// PrunedBlocks and ContainedBlocks count quota-bearing blocks resolved
+	// by zone maps: skipped as disjoint, or fast-pathed as contained.
+	PrunedBlocks, ContainedBlocks int
 	// Pilot is the pre-estimation that sized the run.
 	Pilot FilterPilot
 	// PilotCached reports the pilot was served from a plan cache.
@@ -101,35 +139,106 @@ const (
 	filterPilotTarget = 2000
 )
 
+// classAt returns the zone-map class of block i, overlap when pruning did
+// not apply.
+func classAt(classes []block.SummaryClass, i int) block.SummaryClass {
+	if classes == nil {
+		return block.SummaryOverlap
+	}
+	return classes[i]
+}
+
+// sampleBlockFiltered services q raw draws on one block under the filter
+// and zone-map class, folding accepted values into m. The RNG stream
+// consumed is identical across classes and filter representations: the
+// contained fast path gathers the same raw index stream unfiltered (every
+// value provably passes), the interval path fuses the comparison into the
+// gather, and the closure path rejects after the gather.
+func sampleBlockFiltered(b block.Block, r *stats.RNG, q int64, f Filter, class block.SummaryClass, m *stats.Moments) (int64, error) {
+	switch {
+	case class == block.SummaryContained:
+		if err := block.SampleChunks(b, r, q, block.MomentsSink(m)); err != nil {
+			return 0, err
+		}
+		return q, nil
+	case f.HasInterval:
+		return block.SampleFilteredIntervalChunks(b, r, q, f.Lo, f.Hi, block.MomentsSink(m))
+	default:
+		return block.SampleFilteredChunks(b, r, q, f.Pred, block.MomentsSink(m))
+	}
+}
+
 // FreezeFilterPilot runs the filtered pre-estimation from cfg.Seed and
 // captures the post-pilot generator state. Stage one probes a fixed raw
 // draw to see the acceptance fraction and conditional spread; stage two
 // grows the accepted sample to a fixed target, inflating the raw draw
 // count by the observed selectivity. Neither stage depends on the
-// precision or confidence target.
-func FreezeFilterPilot(s *block.Store, cfg Config, pred func(float64) bool) (FilterPilot, error) {
+// precision or confidence target. Both stages allocate their raw draws
+// proportionally across blocks and derive one seed per quota-bearing
+// block from the master stream — the discipline the calculation phase
+// already follows — so pruning a block never perturbs its siblings'
+// streams. A contradiction filter freezes an empty pilot without drawing
+// (or planning) a single sample.
+func FreezeFilterPilot(s *block.Store, cfg Config, f Filter) (FilterPilot, error) {
 	if err := cfg.Validate(); err != nil {
 		return FilterPilot{}, err
 	}
-	if pred == nil {
+	if f.Pred == nil {
 		return FilterPilot{}, errors.New("core: nil predicate")
 	}
 	if s.TotalLen() == 0 {
 		return FilterPilot{}, ErrEmptyStore
 	}
+	fp := FilterPilot{
+		Lo:          f.Lo,
+		Hi:          f.Hi,
+		HasInterval: f.HasInterval,
+		Blocks:      s.NumBlocks(),
+		TotalLen:    s.TotalLen(),
+	}
 	r := stats.NewRNG(cfg.Seed)
+	if f.Contradiction() {
+		fp.RNG = r.State()
+		return fp, nil
+	}
+	fp.Classes = classifyBlocks(s, f, cfg.DisablePruning)
+
+	blocks := s.Blocks()
+	var pm stats.Moments
+	stage := func(raw int64) error {
+		quotas := s.Quotas(raw)
+		seeds := make([]uint64, len(blocks))
+		for i, q := range quotas {
+			if q > 0 {
+				seeds[i] = r.Uint64()
+			}
+		}
+		for i, q := range quotas {
+			if q == 0 {
+				continue
+			}
+			fp.Drawn += q
+			if classAt(fp.Classes, i) == block.SummaryDisjoint {
+				fp.PrunedDraws += q
+				continue
+			}
+			acc, err := sampleBlockFiltered(blocks[i], stats.NewRNG(seeds[i]), q, f, classAt(fp.Classes, i), &pm)
+			if err != nil {
+				return fmt.Errorf("core: filter pilot block %d: %w", blocks[i].ID(), err)
+			}
+			fp.Accepted += acc
+		}
+		return nil
+	}
+
 	probe := int64(filterProbeSize)
 	if probe > s.TotalLen() {
 		probe = s.TotalLen()
 	}
-	var pm stats.Moments
-	drawn := probe
-	accepted, err := s.PilotSampleFilteredChunks(r, probe, pred, block.MomentsSink(&pm))
-	if err != nil {
-		return FilterPilot{}, fmt.Errorf("core: filter probe: %w", err)
+	if err := stage(probe); err != nil {
+		return FilterPilot{}, err
 	}
-
-	if accepted > 0 {
+	if fp.Accepted > 0 {
 		// Stage two grows the accepted sample to a fixed target so σ and
 		// the selectivity stabilize. The target depends only on the data
 		// and the predicate (cfg.PilotSize overrides it) — never on the
@@ -140,26 +249,16 @@ func FreezeFilterPilot(s *block.Store, cfg Config, pred func(float64) bool) (Fil
 		if cfg.PilotSize > 0 {
 			want = cfg.PilotSize
 		}
-		sel := float64(accepted) / float64(drawn)
-		raw := rawDraws(want, sel, s.TotalLen())
-		if raw > 0 {
-			acc, err := s.PilotSampleFilteredChunks(r, raw, pred, block.MomentsSink(&pm))
-			if err != nil {
-				return FilterPilot{}, fmt.Errorf("core: filter pilot: %w", err)
+		sel := float64(fp.Accepted) / float64(fp.Drawn)
+		if raw := rawDraws(want, sel, s.TotalLen()); raw > 0 {
+			if err := stage(raw); err != nil {
+				return FilterPilot{}, err
 			}
-			drawn += raw
-			accepted += acc
 		}
 	}
-	fp := FilterPilot{
-		Selectivity: float64(accepted) / float64(drawn),
-		Drawn:       drawn,
-		Accepted:    accepted,
-		RNG:         r.State(),
-		Blocks:      s.NumBlocks(),
-		TotalLen:    s.TotalLen(),
-	}
-	if accepted > 0 {
+	fp.Selectivity = float64(fp.Accepted) / float64(fp.Drawn)
+	fp.RNG = r.State()
+	if fp.Accepted > 0 {
 		fp.Mean = pm.Mean()
 		fp.Sigma = pm.SampleStdDev()
 	}
@@ -180,19 +279,19 @@ func rawDraws(want int64, selectivity float64, totalLen int64) int64 {
 }
 
 // EstimateFiltered runs the filtered estimator on a store.
-func EstimateFiltered(s *block.Store, cfg Config, pred func(float64) bool) (FilteredResult, error) {
-	return EstimateFilteredContext(context.Background(), s, cfg, pred)
+func EstimateFiltered(s *block.Store, cfg Config, f Filter) (FilteredResult, error) {
+	return EstimateFilteredContext(context.Background(), s, cfg, f)
 }
 
 // EstimateFilteredContext is EstimateFiltered with a cancellation context.
 // It freezes a pilot and resumes it, so cold runs and plan-cache hits
 // share one code path and are bit-identical per seed.
-func EstimateFilteredContext(ctx context.Context, s *block.Store, cfg Config, pred func(float64) bool) (FilteredResult, error) {
-	fp, err := FreezeFilterPilot(s, cfg, pred)
+func EstimateFilteredContext(ctx context.Context, s *block.Store, cfg Config, f Filter) (FilteredResult, error) {
+	fp, err := FreezeFilterPilot(s, cfg, f)
 	if err != nil {
 		return FilteredResult{}, err
 	}
-	return EstimateFilteredFrozen(ctx, s, cfg, pred, fp)
+	return EstimateFilteredFrozen(ctx, s, cfg, f, fp)
 }
 
 // EstimateFilteredFrozen runs the calculation phase from a frozen filter
@@ -201,12 +300,15 @@ func EstimateFilteredContext(ctx context.Context, s *block.Store, cfg Config, pr
 // per-block raw quotas follow the store's proportional allocation, and the
 // blocks execute on the exec runtime with seeds derived from the frozen
 // RNG state — bit-identical for every worker count, and for the freezing
-// seed bit-identical to a cold EstimateFilteredContext run.
-func EstimateFilteredFrozen(ctx context.Context, s *block.Store, cfg Config, pred func(float64) bool, fp FilterPilot) (FilteredResult, error) {
+// seed bit-identical to a cold EstimateFilteredContext run. Zone-map
+// decisions frozen in the pilot are reused verbatim: disjoint blocks book
+// their quota as rejected without running, contained blocks gather
+// unfiltered.
+func EstimateFilteredFrozen(ctx context.Context, s *block.Store, cfg Config, f Filter, fp FilterPilot) (FilteredResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return FilteredResult{}, err
 	}
-	if pred == nil {
+	if f.Pred == nil {
 		return FilteredResult{}, errors.New("core: nil predicate")
 	}
 	if s.TotalLen() == 0 {
@@ -216,12 +318,19 @@ func EstimateFilteredFrozen(ctx context.Context, s *block.Store, cfg Config, pre
 		return FilteredResult{}, fmt.Errorf("core: filter pilot frozen over %d blocks/%d rows, store has %d/%d — frozen from a different store?",
 			fp.Blocks, fp.TotalLen, s.NumBlocks(), s.TotalLen())
 	}
+	if fp.HasInterval != f.HasInterval || (f.HasInterval && !(fp.Lo == f.Lo && fp.Hi == f.Hi)) {
+		return FilteredResult{}, errors.New("core: filter pilot frozen for a different predicate")
+	}
+	if fp.Classes != nil && len(fp.Classes) != s.NumBlocks() {
+		return FilteredResult{}, errors.New("core: filter pilot classification does not cover the store")
+	}
 	if fp.Accepted == 0 {
-		// The pilot saw no matching row: no σ to size a run with. No
-		// calculation phase runs; Drawn reports the pilot's raw draws so
-		// COUNT callers answering zero can still surface the sampling
+		// The pilot saw no matching row (for a contradiction filter,
+		// provably so, with zero draws): no σ to size a run with. No
+		// calculation phase runs; Drawn reports the pilot's physical draws
+		// so COUNT callers answering zero can still surface the sampling
 		// effort.
-		return FilteredResult{Pilot: fp, Drawn: fp.Drawn}, ErrNoMatch
+		return FilteredResult{Pilot: fp, Drawn: fp.Drawn - fp.PrunedDraws, Planned: fp.Drawn}, ErrNoMatch
 	}
 
 	// Eq. (1) for the conditional mean, scaled like the unfiltered plan,
@@ -242,7 +351,8 @@ func EstimateFilteredFrozen(ctx context.Context, s *block.Store, cfg Config, pre
 	quotas := s.Quotas(raw)
 	blocks := s.Blocks()
 	// Seeds are consumed for quota-bearing blocks only, in block order —
-	// the same stream a sequential loop would draw.
+	// the same stream a sequential loop would draw — whether or not the
+	// block is then pruned, so pruning never shifts a sibling's stream.
 	r := fp.RNG.RNG()
 	seeds := make([]uint64, len(blocks))
 	for i, q := range quotas {
@@ -258,11 +368,19 @@ func EstimateFilteredFrozen(ctx context.Context, s *block.Store, cfg Config, pre
 	perBlock, err := exec.Run(ctx, exec.Pool(cfg.Workers), len(blocks),
 		func(_ context.Context, i int) (blockAcc, error) {
 			b := blocks[i]
-			acc := blockAcc{res: BlockFilterResult{BlockID: b.ID(), Len: b.Len()}}
+			class := classAt(fp.Classes, i)
+			acc := blockAcc{res: BlockFilterResult{BlockID: b.ID(), Len: b.Len(), Class: class}}
 			if quotas[i] == 0 {
 				return acc, nil
 			}
-			n, err := block.SampleFilteredChunks(b, stats.NewRNG(seeds[i]), quotas[i], pred, block.MomentsSink(&acc.m))
+			acc.res.Planned = quotas[i]
+			if class == block.SummaryDisjoint {
+				// The zone map proves every draw would be rejected: book
+				// the planned quota as 0 accepted without touching the
+				// block.
+				return acc, nil
+			}
+			n, err := sampleBlockFiltered(b, stats.NewRNG(seeds[i]), quotas[i], f, class, &acc.m)
 			if err != nil {
 				return blockAcc{}, fmt.Errorf("core: block %d: %w", b.ID(), err)
 			}
@@ -280,13 +398,23 @@ func EstimateFilteredFrozen(ctx context.Context, s *block.Store, cfg Config, pre
 	var count, sum float64
 	for i, acc := range perBlock {
 		out.PerBlock[i] = acc.res
+		out.Planned += acc.res.Planned
 		out.Drawn += acc.res.Drawn
 		out.Accepted += acc.res.Accepted
-		if acc.res.Drawn == 0 {
+		if acc.res.Planned == 0 {
 			continue
 		}
-		// Horvitz–Thompson per block: p̂_i·|B_i| matching rows.
-		ci := float64(acc.res.Accepted) / float64(acc.res.Drawn) * float64(acc.res.Len)
+		switch acc.res.Class {
+		case block.SummaryDisjoint:
+			out.PrunedBlocks++
+		case block.SummaryContained:
+			out.ContainedBlocks++
+		}
+		// Horvitz–Thompson per block: p̂_i·|B_i| matching rows. Planned
+		// draws are the denominator — a pruned block's quota counts as
+		// drawn-and-rejected, which is exactly what sampling it would
+		// have produced.
+		ci := float64(acc.res.Accepted) / float64(acc.res.Planned) * float64(acc.res.Len)
 		count += ci
 		sum += acc.res.Mean * ci
 		pooled.Merge(acc.m)
@@ -294,7 +422,7 @@ func EstimateFilteredFrozen(ctx context.Context, s *block.Store, cfg Config, pre
 	if out.Accepted == 0 {
 		return out, ErrNoMatch
 	}
-	out.Selectivity = float64(out.Accepted) / float64(out.Drawn)
+	out.Selectivity = float64(out.Accepted) / float64(out.Planned)
 	out.Count = count
 	out.Avg = sum / count
 	out.Sum = sum
@@ -304,7 +432,7 @@ func EstimateFilteredFrozen(ctx context.Context, s *block.Store, cfg Config, pre
 		return FilteredResult{}, err
 	}
 	p := out.Selectivity
-	pci, err := stats.MeanCI(p, math.Sqrt(p*(1-p)), out.Drawn, cfg.Confidence)
+	pci, err := stats.MeanCI(p, math.Sqrt(p*(1-p)), out.Planned, cfg.Confidence)
 	if err != nil {
 		return FilteredResult{}, err
 	}

@@ -162,11 +162,22 @@ type GroupResult struct {
 }
 
 // FilterInfo summarizes predicate rejection sampling: how many raw draws
-// the run consumed, how many passed, and the estimated selectivity.
+// the plan allocated and physically consumed, how many passed, the
+// estimated selectivity, and how much work zone-map pruning resolved
+// without sampling.
 type FilterInfo struct {
+	// Planned counts the raw draws the sampling plan allocated; Drawn the
+	// physically serviced subset. They differ exactly by the draws booked
+	// against blocks whose summaries proved the predicate disjoint.
+	Planned     int64
 	Drawn       int64
 	Accepted    int64
 	Selectivity float64
+	// PrunedBlocks and ContainedBlocks count quota-bearing blocks the
+	// calculation phase resolved by zone maps: skipped as disjoint, or
+	// sampled unfiltered as fully contained.
+	PrunedBlocks    int
+	ContainedBlocks int
 }
 
 // Engine executes queries against a catalog with a base ISLA configuration
@@ -341,7 +352,7 @@ func (e *Engine) ExecuteContext(ctx context.Context, q query.Query) (Result, err
 	start := time.Now()
 	res := Result{Query: q, Method: q.Method, Rows: tbl.Store.TotalLen()}
 	cfg := e.queryConfig(q)
-	pred := query.Filter(q.Predicates)
+	f, hasFilter := compileFilter(q.Predicates)
 	fingerprint := query.PredicateString(q.Predicates)
 
 	if q.GroupBy != "" {
@@ -357,7 +368,7 @@ func (e *Engine) ExecuteContext(ctx context.Context, q query.Query) (Result, err
 			if err != nil {
 				return Result{}, err // unreachable: keys come from the store
 			}
-			p, err := e.aggregateStore(ctx, q, cfg, tbl, true, key, s, pred, fingerprint)
+			p, err := e.aggregateStore(ctx, q, cfg, tbl, true, key, s, f, hasFilter, fingerprint)
 			if err != nil {
 				// Cancellation aborts the whole query; any other failure is
 				// confined to its group so the siblings still answer.
@@ -378,7 +389,7 @@ func (e *Engine) ExecuteContext(ctx context.Context, q query.Query) (Result, err
 		return res, nil
 	}
 
-	p, err := e.aggregateStore(ctx, q, cfg, tbl, false, "", tbl.Store, pred, fingerprint)
+	p, err := e.aggregateStore(ctx, q, cfg, tbl, false, "", tbl.Store, f, hasFilter, fingerprint)
 	if err != nil {
 		return Result{}, err
 	}
@@ -427,7 +438,30 @@ type partial struct {
 
 // filterInfo extracts the selectivity diagnostics of a filtered run.
 func filterInfo(fr core.FilteredResult) *FilterInfo {
-	return &FilterInfo{Drawn: fr.Drawn, Accepted: fr.Accepted, Selectivity: fr.Selectivity}
+	return &FilterInfo{
+		Planned:         fr.Planned,
+		Drawn:           fr.Drawn,
+		Accepted:        fr.Accepted,
+		Selectivity:     fr.Selectivity,
+		PrunedBlocks:    fr.PrunedBlocks,
+		ContainedBlocks: fr.ContainedBlocks,
+	}
+}
+
+// compileFilter lowers the WHERE conjunction into the estimator's filter
+// form: conjunctions of comparisons that reduce to one closed interval
+// carry their bounds (unlocking the fused gather kernel and zone-map
+// pruning), everything else runs the general closure. ok is false for an
+// empty conjunction — no filtering at all.
+func compileFilter(preds []query.Predicate) (core.Filter, bool) {
+	pred := query.Filter(preds)
+	if pred == nil {
+		return core.Filter{}, false
+	}
+	if iv, ok := query.CompileInterval(preds); ok {
+		return core.IntervalFilter(iv.Lo, iv.Hi), true
+	}
+	return core.PredFilter(pred), true
 }
 
 // aggregateStore executes q's aggregate on one store — the whole table or
@@ -437,7 +471,7 @@ func filterInfo(fr core.FilteredResult) *FilterInfo {
 // with their canonical fingerprint. Small groups fall back to exact
 // computation like group.Aggregate does — sampling a 50-row group buys
 // nothing — under the engine's group-exact threshold.
-func (e *Engine) aggregateStore(ctx context.Context, q query.Query, cfg core.Config, tbl *Table, grouped bool, groupKey string, s *block.Store, pred func(float64) bool, fingerprint string) (partial, error) {
+func (e *Engine) aggregateStore(ctx context.Context, q query.Query, cfg core.Config, tbl *Table, grouped bool, groupKey string, s *block.Store, f core.Filter, hasFilter bool, fingerprint string) (partial, error) {
 	M := s.TotalLen()
 	exact := q.Method == query.MethodExact
 	if grouped && !exact && q.Method == query.MethodISLA {
@@ -446,21 +480,31 @@ func (e *Engine) aggregateStore(ctx context.Context, q query.Query, cfg core.Con
 		}
 	}
 
+	// A contradictory conjunction (e.g. v > 5 AND v < 3) is decided at
+	// compile time: COUNT is exactly zero and AVG/SUM have no matching
+	// rows, without drawing — or even planning — a single sample.
+	if hasFilter && f.Contradiction() {
+		if q.Agg == query.COUNT {
+			return partial{value: 0, exact: true, filter: &FilterInfo{}}, nil
+		}
+		return partial{}, core.ErrNoMatch
+	}
+
 	// COUNT: exact from metadata when unfiltered; under a predicate it is
 	// an estimated selectivity count (Horvitz–Thompson p̂·M) unless an
 	// exact scan is asked for (or the group is small).
 	if q.Agg == query.COUNT {
-		if pred == nil {
+		if !hasFilter {
 			return partial{value: float64(M), exact: true}, nil
 		}
 		if exact {
-			n, _, err := core.ExactFiltered(s, pred)
+			n, _, err := core.ExactFiltered(s, f.Pred)
 			if err != nil {
 				return partial{}, err
 			}
 			return partial{value: float64(n), exact: true}, nil
 		}
-		fr, err := e.filtered(ctx, cfg, tbl, grouped, groupKey, s, pred, fingerprint)
+		fr, err := e.filtered(ctx, cfg, tbl, grouped, groupKey, s, f, fingerprint)
 		if errors.Is(err, core.ErrNoMatch) {
 			// No sampled row matched: the count estimate is zero.
 			return partial{value: 0, samples: fr.Drawn, cached: fr.PilotCached,
@@ -476,9 +520,9 @@ func (e *Engine) aggregateStore(ctx context.Context, q query.Query, cfg core.Con
 
 	// Filtered AVG/SUM: rejection sampling with HT correction, or an exact
 	// filtered scan (METHOD EXACT or a small group).
-	if pred != nil {
+	if hasFilter {
 		if exact {
-			n, sum, err := core.ExactFiltered(s, pred)
+			n, sum, err := core.ExactFiltered(s, f.Pred)
 			if err != nil {
 				return partial{}, err
 			}
@@ -491,7 +535,7 @@ func (e *Engine) aggregateStore(ctx context.Context, q query.Query, cfg core.Con
 			}
 			return partial{value: v, exact: true}, nil
 		}
-		fr, err := e.filtered(ctx, cfg, tbl, grouped, groupKey, s, pred, fingerprint)
+		fr, err := e.filtered(ctx, cfg, tbl, grouped, groupKey, s, f, fingerprint)
 		if err != nil {
 			return partial{}, err
 		}
@@ -652,10 +696,10 @@ func (e *Engine) frozenPilot(ctx context.Context, cache *plancache.Cache, tbl *T
 // observed selectivity, post-pilot RNG state) is cached per table version,
 // group, seed, sample fraction and predicate fingerprint, so a warm
 // filtered query skips its pilot entirely and answers bit-identically.
-func (e *Engine) filtered(ctx context.Context, cfg core.Config, tbl *Table, grouped bool, groupKey string, s *block.Store, pred func(float64) bool, fingerprint string) (core.FilteredResult, error) {
+func (e *Engine) filtered(ctx context.Context, cfg core.Config, tbl *Table, grouped bool, groupKey string, s *block.Store, f core.Filter, fingerprint string) (core.FilteredResult, error) {
 	cache := e.cache.Load()
 	if cache == nil {
-		return core.EstimateFilteredContext(ctx, s, cfg, pred)
+		return core.EstimateFilteredContext(ctx, s, cfg, f)
 	}
 	key := plancache.Key{
 		Table:          tbl.Name,
@@ -663,18 +707,19 @@ func (e *Engine) filtered(ctx context.Context, cfg core.Config, tbl *Table, grou
 		SampleFraction: cfg.SampleFraction,
 		Seed:           cfg.Seed,
 		SummaryPilot:   cfg.SummaryPilot,
+		DisablePruning: cfg.DisablePruning,
 		SummaryCRC:     s.SummaryChecksum(),
 		Grouped:        grouped,
 		Group:          groupKey,
 		Predicate:      fingerprint,
 	}
 	v, hit, err := cache.Get(ctx, key, func() (any, error) {
-		return core.FreezeFilterPilot(s, cfg, pred)
+		return core.FreezeFilterPilot(s, cfg, f)
 	})
 	if err != nil {
 		return core.FilteredResult{}, err
 	}
-	fr, err := core.EstimateFilteredFrozen(ctx, s, cfg, pred, v.(core.FilterPilot))
+	fr, err := core.EstimateFilteredFrozen(ctx, s, cfg, f, v.(core.FilterPilot))
 	fr.PilotCached = hit
 	return fr, err
 }

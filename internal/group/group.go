@@ -161,6 +161,13 @@ func (b reidBlock) Summary() (block.Summary, bool) {
 	return block.BlockSummary(b.Block)
 }
 
+// SampleFilteredInterval implements block.IntervalSampler by delegating,
+// so the fused filtered gather kernel (and the identical fallback for
+// blocks without it) survives the combined view's renumbering.
+func (b reidBlock) SampleFilteredInterval(r *stats.RNG, m int64, lo, hi float64, fn func(vs []float64) error) (int64, error) {
+	return block.SampleFilteredIntervalChunks(b.Block, r, m, lo, hi, fn)
+}
+
 // Agg selects the grouped aggregate function.
 type Agg int
 

@@ -143,11 +143,18 @@ type GroupResponse struct {
 	Error       string          `json:"error,omitempty"`
 }
 
-// FilterResponse reports predicate rejection-sampling diagnostics.
+// FilterResponse reports predicate rejection-sampling diagnostics,
+// including the zone-map pruning work: planned counts the raw draws the
+// sampling plan allocated, drawn the physically serviced subset, and
+// pruned_blocks/contained_blocks how many blocks the persisted summaries
+// resolved without filtering.
 type FilterResponse struct {
-	Drawn       int64   `json:"drawn"`
-	Accepted    int64   `json:"accepted"`
-	Selectivity float64 `json:"selectivity"`
+	Planned         int64   `json:"planned"`
+	Drawn           int64   `json:"drawn"`
+	Accepted        int64   `json:"accepted"`
+	Selectivity     float64 `json:"selectivity"`
+	PrunedBlocks    int     `json:"pruned_blocks,omitempty"`
+	ContainedBlocks int     `json:"contained_blocks,omitempty"`
 }
 
 // ErrorResponse is the JSON error envelope.
@@ -273,7 +280,14 @@ func filterResponse(fi *engine.FilterInfo) *FilterResponse {
 	if fi == nil {
 		return nil
 	}
-	return &FilterResponse{Drawn: fi.Drawn, Accepted: fi.Accepted, Selectivity: fi.Selectivity}
+	return &FilterResponse{
+		Planned:         fi.Planned,
+		Drawn:           fi.Drawn,
+		Accepted:        fi.Accepted,
+		Selectivity:     fi.Selectivity,
+		PrunedBlocks:    fi.PrunedBlocks,
+		ContainedBlocks: fi.ContainedBlocks,
+	}
 }
 
 func ciResponse(ci *stats.ConfidenceInterval) *CIResponse {
