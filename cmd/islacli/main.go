@@ -34,6 +34,10 @@ func main() {
 	flag.Var(&groupGens, "gengroup", "synthetic grouped table spec name=column;key:dist:params;... (repeatable)")
 	flag.Var(&groupLoads, "loadgroup", "load a grouped table from its manifest name=manifest.json (repeatable)")
 	clusterAddrs := flag.String("cluster", "", "comma-separated islaworker addresses; runs the query on the cluster as table 'cluster'")
+	callTimeout := flag.Duration("call-timeout", 0, "per-RPC deadline for -cluster calls (0 = default, negative disables)")
+	rpcRetries := flag.Int("rpc-retries", 0, "retries per -cluster call on transient failure before failing over (0 = default, negative disables)")
+	rpcBackoff := flag.Duration("rpc-backoff", 0, "base retry backoff for -cluster calls, doubled per attempt with jitter (0 = default, negative disables)")
+	allowPartial := flag.Bool("allow-partial", false, "with -cluster, answer over the reachable blocks when some have no live replica, instead of failing")
 	q := flag.String("q", "", "execute one query and exit")
 	workers := flag.Int("workers", 0, "exec-runtime concurrency: 0 sequential, -1 one worker per CPU, n as-is; with -cluster, n caps in-flight RPCs (0/-1 = one per block). Answers are identical for any setting")
 	openMode := flag.String("open", "auto", "block-file access for -load: mmap (zero-copy mapping), pread (positioned reads) or auto (mmap where supported)")
@@ -46,7 +50,13 @@ func main() {
 	}
 
 	if *clusterAddrs != "" {
-		if err := runCluster(*clusterAddrs, *q, *workers); err != nil {
+		fault := isla.ClusterConfig{
+			CallTimeout:  *callTimeout,
+			MaxRetries:   *rpcRetries,
+			BaseBackoff:  *rpcBackoff,
+			AllowPartial: *allowPartial,
+		}
+		if err := runCluster(*clusterAddrs, *q, *workers, fault); err != nil {
 			fatal(err)
 		}
 		return
@@ -252,7 +262,7 @@ func registerCSV(db *isla.DB, spec string) error {
 
 // runCluster executes one AVG query against remote islaworker processes
 // (the table name in the statement is ignored; the cluster is the table).
-func runCluster(addrs, sql string, workers int) error {
+func runCluster(addrs, sql string, workers int, fault isla.ClusterConfig) error {
 	if sql == "" {
 		return fmt.Errorf("islacli: -cluster requires -q")
 	}
@@ -275,6 +285,7 @@ func runCluster(addrs, sql string, workers int) error {
 	}
 	coord := isla.NewCoordinator(cfg)
 	coord.Workers = workers
+	coord.Fault = fault
 	for _, a := range strings.Split(addrs, ",") {
 		if err := coord.Connect(strings.TrimSpace(a)); err != nil {
 			return err
@@ -292,6 +303,10 @@ func runCluster(addrs, sql string, workers int) error {
 	fmt.Printf("%s = %.6f  (±%.4g at %.0f%% confidence)  [cluster rows=%d samples=%d]\n",
 		parsed.Agg, value, res.CI.HalfWidth, res.CI.Confidence*100,
 		coord.TotalLen(), res.TotalSamples)
+	if p := res.Partial; p != nil {
+		fmt.Printf("PARTIAL: blocks %v unreachable; answer covers %d of %d rows\n",
+			p.MissingBlocks, p.CoveredRows, p.TotalRows)
+	}
 	return nil
 }
 

@@ -86,18 +86,26 @@ func main() {
 	}
 	fmt.Printf("islaworker: serving %d blocks (%d rows) on %s\n", len(blocks), total, l.Addr())
 
-	// Serve until interrupted, then close the listener so in-flight
-	// coordinator calls fail fast instead of hanging.
+	// Serve until interrupted or the accept loop dies, then close the
+	// listener and every open connection so in-flight coordinator calls
+	// fail fast instead of hanging.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	<-ctx.Done()
-	fmt.Println("islaworker: shutting down")
-	l.Close()
+	exit := 0
+	select {
+	case <-ctx.Done():
+		fmt.Println("islaworker: shutting down")
+	case err := <-w.ServeError():
+		fmt.Fprintf(os.Stderr, "islaworker: accept failed: %v\n", err)
+		exit = 1
+	}
+	w.Close()
 	for _, b := range blocks {
 		if c, ok := b.(io.Closer); ok {
 			c.Close() // release block file handles
 		}
 	}
+	os.Exit(exit)
 }
 
 // genStore parses "dist:key=val,..." into re-identified blocks.

@@ -1,0 +1,311 @@
+package cluster
+
+// The chaos battery: deterministic fault injection (Faults) against live
+// TCP workers. Every scenario asserts one of the two contracts the
+// fault-tolerance layer guarantees:
+//
+//   - a worker lost while a replica holds its blocks yields a result
+//     bit-identical to the healthy run (seeds are keyed to block order,
+//     never to worker identity);
+//   - a block lost with no replica either fails with a *BlocksLostError
+//     naming it, or — under AllowPartial — degrades to an answer over the
+//     reachable fraction with exact MissingBlocks/CoveredRows accounting.
+//
+// CI runs this file (plus the Failover tests) under -race on every push.
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"isla/internal/block"
+	"isla/internal/core"
+	"isla/internal/stats"
+)
+
+func chaosConfig(seed uint64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Precision = 0.5
+	cfg.Seed = seed
+	return cfg
+}
+
+// chaosCoordinator wires a coordinator through the fault harness.
+func chaosCoordinator(t *testing.T, cfg core.Config, f *Faults, addrs ...string) *Coordinator {
+	t.Helper()
+	coord := NewCoordinator(cfg)
+	coord.Fault = fastFault()
+	if f != nil {
+		coord.DialClient = f.Wrap(DialTCP)
+	}
+	for _, a := range addrs {
+		if err := coord.Connect(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() { coord.Close() })
+	return coord
+}
+
+// TestChaosKillWithReplicaBitIdentical kills the primary worker at three
+// points of the query — mid pilot pass 1, mid pilot pass 2, mid sampling —
+// with a full replica alive, and requires the exact healthy answer each
+// time. With 6 blocks the primary sees calls 1-6 (probe pilots), 7-12
+// (sketch pilots), 13-18 (samples).
+func TestChaosKillWithReplicaBitIdentical(t *testing.T) {
+	cases := []struct {
+		name   string
+		killAt int
+	}{
+		{"mid-pilot", 3},
+		{"mid-sketch", 8},
+		{"mid-sample", 14},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			blocks := normalBlocks(t, 240000, 6, 17)
+			w1, addr1 := startReplica(t, blocks...)
+			_, addr2 := startReplica(t, blocks...)
+			cfg := chaosConfig(21)
+			want := healthyResult(t, cfg, addr1, addr2)
+
+			f := NewFaults(99)
+			f.Script(addr1, tc.killAt, func() { w1.Close() })
+			coord := chaosCoordinator(t, cfg, f, addr1, addr2)
+			res, err := coord.Run()
+			if err != nil {
+				t.Fatalf("failover run: %v", err)
+			}
+			assertSameResult(t, want, res)
+			if res.Partial != nil {
+				t.Fatalf("replica covered every block, Partial = %+v", res.Partial)
+			}
+		})
+	}
+}
+
+// TestChaosFlakyTransportBitIdentical runs both replicas behind a flaky
+// transport — injected resets, hangs that outlive the call deadline, and
+// sub-deadline delays — and requires the exact healthy answer: retries and
+// failover recompute, never resample.
+func TestChaosFlakyTransportBitIdentical(t *testing.T) {
+	blocks := normalBlocks(t, 240000, 6, 5)
+	_, addr1 := startReplica(t, blocks...)
+	_, addr2 := startReplica(t, blocks...)
+	cfg := chaosConfig(13)
+	want := healthyResult(t, cfg, addr1, addr2)
+
+	f := NewFaults(7)
+	f.ErrorProb = 0.25
+	f.HangProb = 0.05
+	f.DelayProb = 0.2
+	f.Delay = 2 * time.Millisecond
+	coord := chaosCoordinator(t, cfg, f, addr1, addr2)
+	coord.Fault.CallTimeout = 300 * time.Millisecond
+	coord.Fault.MaxRetries = 5
+	coord.Fault.RetryBudget = 1000
+
+	for run := 0; run < 2; run++ {
+		res, err := coord.Run()
+		if err != nil {
+			t.Fatalf("flaky run %d: %v", run, err)
+		}
+		assertSameResult(t, want, res)
+	}
+}
+
+// TestChaosHangsExhaustIntoTypedError drives every data call into a hang:
+// each attempt burns the call deadline, retries exhaust, the only worker
+// is marked down, and the run must fail with the typed error naming the
+// lost blocks — not deadlock.
+func TestChaosHangsExhaustIntoTypedError(t *testing.T) {
+	blocks := normalBlocks(t, 60000, 4, 9)
+	_, addr := startReplica(t, blocks...)
+	f := NewFaults(3)
+	f.HangProb = 1
+
+	coord := chaosCoordinator(t, chaosConfig(4), f, addr)
+	coord.Fault.CallTimeout = 50 * time.Millisecond
+	coord.Fault.MaxRetries = 1
+
+	_, err := coord.Run()
+	var lost *BlocksLostError
+	if !errors.As(err, &lost) {
+		t.Fatalf("err = %v, want *BlocksLostError", err)
+	}
+	if len(lost.Blocks) == 0 {
+		t.Fatal("typed error names no blocks")
+	}
+}
+
+// partialBlocks builds a cluster whose lost half has a very different mean
+// from the surviving half, so a wrong partial estimate is unmissable:
+// blocks 0-3 ~ N(100, 5) survive, blocks 4-5 ~ N(200, 5) are lost.
+func partialBlocks(t *testing.T) (surviving, lost []block.Block) {
+	t.Helper()
+	r := stats.NewRNG(31)
+	mk := func(id int, mu float64) block.Block {
+		data := make([]float64, 40000)
+		for i := range data {
+			data[i] = mu + 5*r.NormFloat64()
+		}
+		return block.NewMemBlock(id, data)
+	}
+	for id := 0; id < 4; id++ {
+		surviving = append(surviving, mk(id, 100))
+	}
+	for id := 4; id < 6; id++ {
+		lost = append(lost, mk(id, 200))
+	}
+	return surviving, lost
+}
+
+// TestChaosPermanentLossPartialAccounting loses a worker with no replica
+// under AllowPartial: the answer must cover exactly the reachable rows and
+// declare the loss.
+func TestChaosPermanentLossPartialAccounting(t *testing.T) {
+	surviving, lostBlocks := partialBlocks(t)
+	_, addr1 := startReplica(t, surviving...)
+	w2, addr2 := startReplica(t, lostBlocks...)
+
+	coord := chaosCoordinator(t, chaosConfig(11), nil, addr1, addr2)
+	coord.Fault.AllowPartial = true
+	w2.Close() // permanent: blocks 4 and 5 have no other home
+
+	res, err := coord.Run()
+	if err != nil {
+		t.Fatalf("partial run: %v", err)
+	}
+	p := res.Partial
+	if p == nil {
+		t.Fatal("Partial accounting missing")
+	}
+	if len(p.MissingBlocks) != 2 || p.MissingBlocks[0] != 4 || p.MissingBlocks[1] != 5 {
+		t.Fatalf("MissingBlocks = %v, want [4 5]", p.MissingBlocks)
+	}
+	if p.CoveredRows != 160000 || p.TotalRows != 240000 {
+		t.Fatalf("covered/total = %d/%d, want 160000/240000", p.CoveredRows, p.TotalRows)
+	}
+	// The estimate averages the reachable fraction (µ=100), not a diluted
+	// blend with the lost µ=200 half.
+	if res.Estimate < 99 || res.Estimate > 101 {
+		t.Fatalf("partial estimate %v, want ≈100", res.Estimate)
+	}
+	if got, want := res.Sum, res.Estimate*float64(p.CoveredRows); got != want {
+		t.Fatalf("Sum = %v, want Estimate·CoveredRows = %v", got, want)
+	}
+	if len(res.PerBlock) != 4 {
+		t.Fatalf("per-block results = %d, want 4 surviving", len(res.PerBlock))
+	}
+	for _, br := range res.PerBlock {
+		if br.BlockID >= 4 {
+			t.Fatalf("lost block %d produced a result", br.BlockID)
+		}
+	}
+}
+
+// TestChaosPermanentLossTypedError is the same loss without AllowPartial:
+// a typed error naming the lost blocks, never a silently-diluted answer.
+func TestChaosPermanentLossTypedError(t *testing.T) {
+	surviving, lostBlocks := partialBlocks(t)
+	_, addr1 := startReplica(t, surviving...)
+	w2, addr2 := startReplica(t, lostBlocks...)
+
+	coord := chaosCoordinator(t, chaosConfig(11), nil, addr1, addr2)
+	w2.Close()
+
+	_, err := coord.Run()
+	var lost *BlocksLostError
+	if !errors.As(err, &lost) {
+		t.Fatalf("err = %v, want *BlocksLostError", err)
+	}
+	for _, id := range lost.Blocks {
+		if id != 4 && id != 5 {
+			t.Fatalf("error names block %d, only 4 and 5 were lost", id)
+		}
+	}
+	if len(lost.Blocks) == 0 {
+		t.Fatal("typed error names no blocks")
+	}
+}
+
+// TestFailoverReadmissionAfterReconnect kills the primary mid-query, runs
+// a second query during the outage (served by the replica), restarts the
+// worker on its old address, waits for the background probe to readmit it,
+// and requires all three answers bit-identical to the healthy run.
+func TestFailoverReadmissionAfterReconnect(t *testing.T) {
+	blocks := normalBlocks(t, 240000, 6, 23)
+	w1, addr1 := startReplica(t, blocks...)
+	_, addr2 := startReplica(t, blocks...)
+	cfg := chaosConfig(8)
+	want := healthyResult(t, cfg, addr1, addr2)
+
+	f := NewFaults(77)
+	f.Script(addr1, 14, func() { w1.Close() })
+	coord := chaosCoordinator(t, cfg, f, addr1, addr2)
+
+	// Query 1: primary dies mid-sampling, replica takes over.
+	res, err := coord.Run()
+	if err != nil {
+		t.Fatalf("failover query: %v", err)
+	}
+	assertSameResult(t, want, res)
+
+	// Query 2: during the outage — the primary is down and being probed.
+	res, err = coord.Run()
+	if err != nil {
+		t.Fatalf("outage query: %v", err)
+	}
+	assertSameResult(t, want, res)
+	if coord.Health()[addr1] {
+		t.Fatal("dead worker reported healthy")
+	}
+
+	// Restart the worker on its old address; the probe readmits it.
+	l, err := net.Listen("tcp", addr1)
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr1, err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go w1.Serve(l)
+	deadline := time.Now().Add(5 * time.Second)
+	for !coord.Health()[addr1] {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never readmitted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Query 3: back on the readmitted primary.
+	res, err = coord.Run()
+	if err != nil {
+		t.Fatalf("post-readmission query: %v", err)
+	}
+	assertSameResult(t, want, res)
+}
+
+// TestFailoverRetryBudgetBoundsCalls makes every data call fail and checks
+// the per-query retry budget caps the total attempts — the anti-retry-storm
+// circuit breaker. 4 blocks × (1 first attempt) + budget(5) is the ceiling;
+// without the budget MaxRetries=100 would allow ~400 calls.
+func TestFailoverRetryBudgetBoundsCalls(t *testing.T) {
+	blocks := normalBlocks(t, 60000, 4, 9)
+	_, addr := startReplica(t, blocks...)
+	f := NewFaults(7)
+	f.ErrorProb = 1
+
+	coord := chaosCoordinator(t, chaosConfig(2), f, addr)
+	coord.Fault.MaxRetries = 100
+	coord.Fault.RetryBudget = 5
+	coord.Fault.BaseBackoff = -1 // no sleeping: count pure attempts
+
+	_, err := coord.Run()
+	var lost *BlocksLostError
+	if !errors.As(err, &lost) {
+		t.Fatalf("err = %v, want *BlocksLostError", err)
+	}
+	if calls := f.Calls(addr); calls > 4+5 {
+		t.Fatalf("retry budget leaked: %d calls, want ≤ 9", calls)
+	}
+}

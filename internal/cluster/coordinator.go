@@ -3,7 +3,6 @@ package cluster
 import (
 	"context"
 	"fmt"
-	"net/rpc"
 	"sort"
 	"sync"
 
@@ -15,69 +14,111 @@ import (
 
 // Coordinator drives an ISLA aggregation across RPC workers. It owns the
 // Pre-estimation and Summarization modules; workers only execute the
-// sampling phase and return power sums. The calculation fan-out runs on
-// the shared exec runtime with RPC-backed block execution.
+// sampling phase and return power sums. Both the pilot fan-out and the
+// calculation fan-out run on the shared exec runtime with RPC-backed block
+// execution, under the fault-tolerance layer configured by Fault: per-call
+// deadlines, transient retries with deterministic backoff, replica
+// failover and (optionally) partial answers over the reachable fraction.
+//
+// Workers registering the same block id become replicas of that block, in
+// registration order: the first healthy replica serves it, later ones take
+// over when it fails. Because per-block seeds are keyed to block order —
+// not to worker identity — a failed-over run returns the same answer bits
+// as the healthy run.
 type Coordinator struct {
 	Cfg core.Config
 	// Workers bounds how many RPC block requests are in flight at once.
 	// Zero or negative means one in-flight request per block (the fan-out
 	// is network-bound, not CPU-bound).
 	Workers int
+	// Fault tunes the fault-tolerance layer; the zero value selects the
+	// package defaults (see Config).
+	Fault Config
+	// DialClient optionally replaces the transport's client factory —
+	// the hook the fault-injection harness (Faults.Wrap) and tests use.
+	// Nil selects DialTCP.
+	DialClient DialFunc
 
 	mu      sync.Mutex
-	clients []*rpc.Client
-	// blockHome maps a block id to the index of the client serving it.
-	blockHome map[int]int
+	workers []*workerConn
+	// blockHome maps a block id to its replica workers in registration
+	// order (indices into workers).
+	blockHome map[int][]int
 	blockLens map[int]int64
+	stop      chan struct{}
+	closed    bool
 }
 
 // NewCoordinator returns a coordinator with the given estimator config.
 func NewCoordinator(cfg core.Config) *Coordinator {
 	return &Coordinator{
 		Cfg:       cfg,
-		blockHome: make(map[int]int),
+		blockHome: make(map[int][]int),
 		blockLens: make(map[int]int64),
+		stop:      make(chan struct{}),
 	}
 }
 
 // Connect dials a worker and registers its blocks. Safe to call for
-// several workers; duplicate block ids resolve to the latest worker.
+// several workers, including concurrently with a running query. A block id
+// already registered by an earlier worker makes this worker a replica of
+// that block — replicas must agree on the block's length.
 func (c *Coordinator) Connect(addr string) error {
-	client, err := rpc.Dial("tcp", addr)
+	client, err := c.dial(addr)
 	if err != nil {
 		return fmt.Errorf("cluster: dialing %s: %w", addr, err)
 	}
 	var info InfoReply
-	if err := client.Call("Worker.Info", struct{}{}, &info); err != nil {
+	if err := c.ping(client, &info); err != nil {
 		client.Close()
 		return fmt.Errorf("cluster: querying %s: %w", addr, err)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	idx := len(c.clients)
-	c.clients = append(c.clients, client)
 	for i, id := range info.BlockIDs {
-		c.blockHome[id] = idx
+		if have, ok := c.blockLens[id]; ok && have != info.Lens[i] {
+			client.Close()
+			return fmt.Errorf("cluster: replica mismatch for block %d: %s serves %d rows, registered %d",
+				id, addr, info.Lens[i], have)
+		}
+	}
+	idx := len(c.workers)
+	c.workers = append(c.workers, &workerConn{addr: addr, client: client})
+	for i, id := range info.BlockIDs {
+		c.blockHome[id] = append(c.blockHome[id], idx)
 		c.blockLens[id] = info.Lens[i]
 	}
 	return nil
 }
 
-// Close closes every worker connection.
+// Close closes every worker connection and stops background health probes.
 func (c *Coordinator) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.stop)
+	}
+	workers := c.workers
+	c.workers = nil
+	c.mu.Unlock()
 	var first error
-	for _, cl := range c.clients {
+	for _, w := range workers {
+		w.mu.Lock()
+		cl := w.client
+		w.client = nil
+		w.mu.Unlock()
+		if cl == nil {
+			continue
+		}
 		if err := cl.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
-	c.clients = nil
 	return first
 }
 
-// TotalLen returns the cluster-wide row count M.
+// TotalLen returns the cluster-wide row count M. Replicated blocks count
+// once.
 func (c *Coordinator) TotalLen() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -88,15 +129,28 @@ func (c *Coordinator) TotalLen() int64 {
 	return t
 }
 
-// blockIDs returns the registered block ids in order.
-func (c *Coordinator) blockIDs() []int {
+// snapshot captures the registered blocks — ids in ascending order, their
+// lengths, and the total — so a running query is immune to concurrent
+// Connect calls growing the map under it.
+func (c *Coordinator) snapshot() (ids []int, lens []int64, total int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ids := make([]int, 0, len(c.blockHome))
+	ids = make([]int, 0, len(c.blockHome))
 	for id := range c.blockHome {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	lens = make([]int64, len(ids))
+	for i, id := range ids {
+		lens[i] = c.blockLens[id]
+		total += lens[i]
+	}
+	return ids, lens, total
+}
+
+// blockIDs returns the registered block ids in order.
+func (c *Coordinator) blockIDs() []int {
+	ids, _, _ := c.snapshot()
 	return ids
 }
 
@@ -106,26 +160,28 @@ func (c *Coordinator) Run() (core.Result, error) {
 	return c.RunContext(context.Background())
 }
 
-// RunContext is Run with a cancellation context: in-flight RPC fan-out
-// stops being scheduled once ctx is cancelled.
+// RunContext is Run with a cancellation context: every RPC — pilot and
+// calculation alike — is scheduled under ctx and the per-call deadline, so
+// the run aborts promptly when ctx is cancelled.
+//
+// When a block loses every replica mid-run the query fails with a
+// *BlocksLostError, unless Fault.AllowPartial is set — then the answer
+// covers the reachable fraction and Result.Partial carries the accounting.
 func (c *Coordinator) RunContext(ctx context.Context) (core.Result, error) {
 	if err := c.Cfg.Validate(); err != nil {
 		return core.Result{}, err
 	}
-	ids := c.blockIDs()
-	if len(ids) == 0 {
+	ids, lens, total := c.snapshot()
+	if len(ids) == 0 || total == 0 {
 		return core.Result{}, core.ErrEmptyStore
 	}
-	total := c.TotalLen()
-	if total == 0 {
-		return core.Result{}, core.ErrEmptyStore
-	}
+	q := c.newQuery()
 	r := stats.NewRNG(c.Cfg.Seed)
 
 	// --- Pre-estimation across the cluster: pilot each block with a size
 	// proportional to its share, pool the moments. Per-block moments are
 	// retained for the non-i.i.d. mode (§VII-C over §VII-E).
-	pilot, perBlockPilots, err := c.preEstimate(ids, total, r)
+	pilot, perBlockPilots, err := c.preEstimate(ctx, q, ids, lens, total, r)
 	if err != nil {
 		return core.Result{}, err
 	}
@@ -134,17 +190,21 @@ func (c *Coordinator) RunContext(ctx context.Context) (core.Result, error) {
 		shift = -pilot.Min + pilot.Sigma + 1
 	}
 
-	// --- Calculation on the exec runtime: ship Algorithm 1 to the block's
-	// worker, resolve Algorithm 2 locally. Seeds are keyed to block order,
-	// so the answer is independent of worker topology and fan-out width.
+	// --- Calculation on the exec runtime: ship Algorithm 1 to a replica
+	// of the block, resolve Algorithm 2 locally. Seeds are keyed to block
+	// order, so the answer is independent of worker topology, fan-out
+	// width, and which replica ends up serving a block.
 	seeds := exec.Seeds(r, len(ids))
-	inflight := c.Workers
-	if inflight <= 0 {
-		inflight = len(ids)
+	type blockOut struct {
+		br   core.BlockResult
+		lost bool
 	}
-	perBlock, err := exec.Run(ctx, inflight, len(ids),
-		func(_ context.Context, i int) (core.BlockResult, error) {
+	outs, err := exec.Run(ctx, c.inflight(len(ids)), len(ids),
+		func(ctx context.Context, i int) (blockOut, error) {
 			id := ids[i]
+			if q.isLost(id) {
+				return blockOut{lost: true}, nil
+			}
 			// Per-block geometry in non-i.i.d. mode, global otherwise.
 			bp := pilot
 			if c.Cfg.PerBlockBounds {
@@ -154,40 +214,120 @@ func (c *Coordinator) RunContext(ctx context.Context) (core.Result, error) {
 				}
 			}
 			opts := modOptions(c.Cfg, bp.Sigma, bp.RelaxedE)
-			return c.runBlock(id, bp, shift, seeds[i], opts)
+			br, err := c.runBlock(ctx, q, id, lens[i], bp, shift, seeds[i], opts)
+			if err == errSkipLost {
+				return blockOut{lost: true}, nil
+			}
+			if err != nil {
+				return blockOut{}, err
+			}
+			return blockOut{br: br}, nil
 		})
 	if err != nil {
 		return core.Result{}, err
 	}
-	return core.SummarizeBlocks(c.Cfg, pilot, shift, perBlock, total), nil
+
+	perBlock := make([]core.BlockResult, 0, len(outs))
+	var covered int64
+	var missing []int
+	for i, o := range outs {
+		if o.lost || q.isLost(ids[i]) {
+			missing = append(missing, ids[i])
+			continue
+		}
+		perBlock = append(perBlock, o.br)
+		covered += o.br.Len
+	}
+	if len(missing) == 0 {
+		return core.SummarizeBlocks(c.Cfg, pilot, shift, perBlock, total), nil
+	}
+	if covered == 0 {
+		return core.Result{}, &BlocksLostError{Blocks: missing}
+	}
+	// Graceful degradation: the estimate averages the blocks that
+	// answered, weighted over the covered rows only, and the loss is
+	// declared instead of silently diluting the answer.
+	res := core.SummarizeBlocks(c.Cfg, pilot, shift, perBlock, covered)
+	res.Partial = &core.Partial{MissingBlocks: missing, CoveredRows: covered, TotalRows: total}
+	return res, nil
+}
+
+// inflight resolves the Workers knob against the block count.
+func (c *Coordinator) inflight(n int) int {
+	if c.Workers <= 0 {
+		return n
+	}
+	return c.Workers
+}
+
+// pilotPass fans one pilot round out over the exec runtime: per-block
+// seeds are drawn in block order before dispatch (so results are
+// bit-identical for any fan-out width and any replica placement), quota
+// computes each block's share, and the moments merge in block order after
+// the barrier. Blocks already lost are skipped; blocks lost during the
+// pass are recorded in q (AllowPartial) or abort it (typed error).
+func (c *Coordinator) pilotPass(ctx context.Context, q *qstate, ids []int, lens []int64, r *stats.RNG, quota func(blen int64) int64) ([]stats.Moments, []bool, error) {
+	seeds := exec.Seeds(r, len(ids))
+	type pilotOut struct {
+		m  stats.Moments
+		ok bool
+	}
+	outs, err := exec.Run(ctx, c.inflight(len(ids)), len(ids),
+		func(ctx context.Context, i int) (pilotOut, error) {
+			id := ids[i]
+			if lens[i] == 0 || q.isLost(id) {
+				return pilotOut{}, nil
+			}
+			args := PilotArgs{BlockID: id, SampleSize: quota(lens[i]), Seed: seeds[i]}
+			var rep PilotReply
+			err := c.callBlock(ctx, q, id, "Worker.Pilot", args, &rep)
+			if err == errSkipLost {
+				return pilotOut{}, nil
+			}
+			if err != nil {
+				return pilotOut{}, err
+			}
+			return pilotOut{m: momentsFrom(rep), ok: true}, nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	ms := make([]stats.Moments, len(outs))
+	oks := make([]bool, len(outs))
+	for i, o := range outs {
+		ms[i], oks[i] = o.m, o.ok
+	}
+	return ms, oks, nil
 }
 
 // preEstimate pools per-block pilot moments into the global σ, sketch0 and
 // sampling rate (Eq. 1), returning the per-block moments as well for the
-// non-i.i.d. mode.
-func (c *Coordinator) preEstimate(ids []int, total int64, r *stats.RNG) (core.Pilot, map[int]*stats.Moments, error) {
+// non-i.i.d. mode. Both passes run concurrently on the exec runtime under
+// ctx and the per-call fault-tolerance ladder.
+func (c *Coordinator) preEstimate(ctx context.Context, q *qstate, ids []int, lens []int64, total int64, r *stats.RNG) (core.Pilot, map[int]*stats.Moments, error) {
 	const probeTotal = 2000
 	perBlock := make(map[int]*stats.Moments, len(ids))
 	var pooled stats.Moments
-	for _, id := range ids {
-		c.mu.Lock()
-		client := c.clients[c.blockHome[id]]
-		blen := c.blockLens[id]
-		c.mu.Unlock()
-		if blen == 0 {
-			continue
-		}
+	probes, oks, err := c.pilotPass(ctx, q, ids, lens, r, func(blen int64) int64 {
 		quota := int64(probeTotal) * blen / total
 		if quota < 50 {
 			quota = 50
 		}
-		var rep PilotReply
-		if err := client.Call("Worker.Pilot", PilotArgs{BlockID: id, SampleSize: quota, Seed: r.Uint64()}, &rep); err != nil {
-			return core.Pilot{}, nil, fmt.Errorf("cluster: pilot block %d: %w", id, err)
+		return quota
+	})
+	if err != nil {
+		return core.Pilot{}, nil, err
+	}
+	for i := range probes {
+		if !oks[i] {
+			continue
 		}
-		m := momentsFrom(rep)
-		perBlock[id] = &m
-		pooled.Merge(m)
+		m := probes[i]
+		perBlock[ids[i]] = &m
+		pooled.Merge(probes[i])
+	}
+	if pooled.Count() == 0 {
+		return core.Pilot{}, nil, &BlocksLostError{Blocks: q.lostBlocks()}
 	}
 	sigma := pooled.SampleStdDev()
 	relaxed := c.Cfg.RelaxFactor * c.Cfg.Precision
@@ -201,25 +341,27 @@ func (c *Coordinator) preEstimate(ids []int, total int64, r *stats.RNG) (core.Pi
 		pilotSize = total
 	}
 	var sketchAcc stats.Moments
-	for _, id := range ids {
-		c.mu.Lock()
-		client := c.clients[c.blockHome[id]]
-		blen := c.blockLens[id]
-		c.mu.Unlock()
-		if blen == 0 {
-			continue
-		}
+	sketches, oks, err := c.pilotPass(ctx, q, ids, lens, r, func(blen int64) int64 {
 		quota := pilotSize * blen / total
 		if quota < 1 {
 			quota = 1
 		}
-		var rep PilotReply
-		if err := client.Call("Worker.Pilot", PilotArgs{BlockID: id, SampleSize: quota, Seed: r.Uint64()}, &rep); err != nil {
-			return core.Pilot{}, nil, fmt.Errorf("cluster: sketch pilot block %d: %w", id, err)
+		return quota
+	})
+	if err != nil {
+		return core.Pilot{}, nil, err
+	}
+	for i := range sketches {
+		if !oks[i] {
+			continue
 		}
-		m := momentsFrom(rep)
-		perBlock[id].Merge(m)
-		sketchAcc.Merge(m)
+		if pb, ok := perBlock[ids[i]]; ok {
+			pb.Merge(sketches[i])
+		}
+		sketchAcc.Merge(sketches[i])
+	}
+	if sketchAcc.Count() == 0 {
+		return core.Pilot{}, nil, &BlocksLostError{Blocks: q.lostBlocks()}
 	}
 
 	sigma = sketchAcc.SampleStdDev()
@@ -248,14 +390,9 @@ func (c *Coordinator) preEstimate(ids []int, total int64, r *stats.RNG) (core.Pi
 	}, perBlock, nil
 }
 
-// runBlock ships Algorithm 1 to the block's worker and resolves Algorithm 2
-// from the returned sums.
-func (c *Coordinator) runBlock(id int, pilot core.Pilot, shift float64, seed uint64, opts modulate.Options) (core.BlockResult, error) {
-	c.mu.Lock()
-	client := c.clients[c.blockHome[id]]
-	blen := c.blockLens[id]
-	c.mu.Unlock()
-
+// runBlock ships Algorithm 1 to a replica of the block and resolves
+// Algorithm 2 from the returned sums.
+func (c *Coordinator) runBlock(ctx context.Context, q *qstate, id int, blen int64, pilot core.Pilot, shift float64, seed uint64, opts modulate.Options) (core.BlockResult, error) {
 	m := int64(pilot.SampleRate * float64(blen))
 	if m < 1 {
 		m = 1
@@ -271,8 +408,8 @@ func (c *Coordinator) runBlock(id int, pilot core.Pilot, shift float64, seed uin
 		Seed:       seed,
 	}
 	var rep SampleReply
-	if err := client.Call("Worker.Sample", args, &rep); err != nil {
-		return core.BlockResult{}, fmt.Errorf("cluster: sampling block %d: %w", id, err)
+	if err := c.callBlock(ctx, q, id, "Worker.Sample", args, &rep); err != nil {
+		return core.BlockResult{}, err
 	}
 	s := stats.PowerSums{Count: rep.S.Count, Sum: rep.S.Sum, Sum2: rep.S.Sum2, Sum3: rep.S.Sum3}
 	l := stats.PowerSums{Count: rep.L.Count, Sum: rep.L.Sum, Sum2: rep.L.Sum2, Sum3: rep.L.Sum3}

@@ -8,6 +8,17 @@
 // The coordinator resolves the per-block answers locally from the returned
 // sums, so the aggregation logic stays in one place and a worker upgrade
 // can never skew the estimator.
+//
+// The transport is fault tolerant (see Config): every RPC runs under a
+// per-call deadline, transient failures retry under capped exponential
+// backoff with deterministic jitter and a per-query retry budget, workers
+// registering the same block ids act as replicas with automatic failover,
+// unhealthy workers are probed and readmitted in the background, and lost
+// blocks either fail the query with a *BlocksLostError or — in AllowPartial
+// mode — degrade it to an accounted answer over the reachable fraction.
+// None of this moves an answer bit: per-block seeds are keyed to block
+// order, so a retried or failed-over block recomputes identical power sums.
+// Faults is a deterministic fault-injection harness for testing all of it.
 package cluster
 
 import (
@@ -76,13 +87,20 @@ type InfoReply struct {
 // Worker serves block computations over RPC. Create with NewWorker, then
 // Serve on a listener.
 type Worker struct {
-	mu     sync.RWMutex
-	blocks map[int]block.Block
+	mu        sync.RWMutex
+	blocks    map[int]block.Block
+	listeners []net.Listener
+	conns     map[net.Conn]struct{}
+	serveErr  chan error
 }
 
 // NewWorker returns a worker owning the given blocks.
 func NewWorker(blocks ...block.Block) *Worker {
-	w := &Worker{blocks: make(map[int]block.Block, len(blocks))}
+	w := &Worker{
+		blocks:   make(map[int]block.Block, len(blocks)),
+		conns:    make(map[net.Conn]struct{}),
+		serveErr: make(chan error, 1),
+	}
 	for _, b := range blocks {
 		w.blocks[b.ID()] = b
 	}
@@ -176,27 +194,89 @@ func (w *Worker) Sample(args SampleArgs, reply *SampleReply) error {
 
 // Serve registers the worker on a fresh rpc.Server and accepts connections
 // on l until the listener is closed. It blocks; run it in a goroutine.
+// A graceful shutdown — the listener closed by the caller or by Close —
+// returns nil; any other accept failure is returned as-is.
 func (w *Worker) Serve(l net.Listener) error {
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("Worker", w); err != nil {
 		return err
 	}
+	w.mu.Lock()
+	w.listeners = append(w.listeners, l)
+	w.mu.Unlock()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
 			return err
 		}
-		go srv.ServeConn(conn)
+		w.mu.Lock()
+		w.conns[conn] = struct{}{}
+		w.mu.Unlock()
+		go func() {
+			srv.ServeConn(conn)
+			conn.Close()
+			w.mu.Lock()
+			delete(w.conns, conn)
+			w.mu.Unlock()
+		}()
 	}
 }
 
+// serveNotify runs Serve and forwards a real accept failure (not a
+// graceful close) to the ServeError channel — the goroutine body of
+// ListenAndServe.
+func (w *Worker) serveNotify(l net.Listener) {
+	if err := w.Serve(l); err != nil {
+		select {
+		case w.serveErr <- err:
+		default: // an earlier failure is already pending
+		}
+	}
+}
+
+// ServeError surfaces accept-loop failures from ListenAndServe: a real
+// accept error (not a graceful listener close) is delivered here instead
+// of being swallowed. The channel holds at most one error.
+func (w *Worker) ServeError() <-chan error { return w.serveErr }
+
 // ListenAndServe starts the worker on addr (e.g. "127.0.0.1:0") and returns
 // the bound listener so callers learn the port and can shut it down.
+// Accept failures surface on ServeError.
 func (w *Worker) ListenAndServe(addr string) (net.Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	go w.Serve(l) //nolint:errcheck // ends when l closes
+	go w.serveNotify(l)
 	return l, nil
+}
+
+// Close shuts the worker down hard: every listener and every established
+// connection closes, so in-flight coordinator calls fail fast instead of
+// hanging — this is the "kill the worker" primitive the chaos harness and
+// process shutdown use. The worker can serve again afterwards on a fresh
+// listener.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	listeners := w.listeners
+	w.listeners = nil
+	conns := make([]net.Conn, 0, len(w.conns))
+	for conn := range w.conns {
+		conns = append(conns, conn)
+	}
+	w.conns = make(map[net.Conn]struct{})
+	w.mu.Unlock()
+	var first error
+	for _, l := range listeners {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, conn := range conns {
+		conn.Close()
+	}
+	return first
 }

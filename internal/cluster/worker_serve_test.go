@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// failingListener is a listener whose accept loop dies with a permanent
+// error — the failure mode ListenAndServe used to swallow.
+type failingListener struct{ err error }
+
+func (l *failingListener) Accept() (net.Conn, error) { return nil, l.err }
+func (l *failingListener) Close() error              { return nil }
+func (l *failingListener) Addr() net.Addr            { return &net.TCPAddr{} }
+
+func TestServeReturnsAcceptFailure(t *testing.T) {
+	boom := errors.New("accept: too many open files")
+	w := NewWorker()
+	if err := w.Serve(&failingListener{err: boom}); !errors.Is(err, boom) {
+		t.Fatalf("Serve returned %v, want the accept error", err)
+	}
+}
+
+func TestServeErrorSurfacesAcceptFailure(t *testing.T) {
+	boom := errors.New("accept: too many open files")
+	w := NewWorker()
+	go w.serveNotify(&failingListener{err: boom})
+	select {
+	case err := <-w.ServeError():
+		if !errors.Is(err, boom) {
+			t.Fatalf("ServeError delivered %v, want the accept error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept failure never surfaced on ServeError")
+	}
+}
+
+func TestServeGracefulCloseIsSilent(t *testing.T) {
+	w := NewWorker()
+	l, err := w.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	select {
+	case err := <-w.ServeError():
+		t.Fatalf("graceful close surfaced as error: %v", err)
+	case <-time.After(100 * time.Millisecond):
+		// Serve returned nil; nothing on the channel. Correct.
+	}
+}

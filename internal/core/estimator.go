@@ -20,6 +20,20 @@ type BlockResult struct {
 	Detail  modulate.Result // iteration diagnostics (case, α, iterations…)
 }
 
+// Partial accounts for the unreachable fraction of a degraded distributed
+// run (cluster AllowPartial mode): the estimate covers CoveredRows of
+// TotalRows, and MissingBlocks lists the block ids whose every replica was
+// unreachable. A nil Result.Partial means the run covered every block.
+type Partial struct {
+	// MissingBlocks are the ids of blocks that contributed nothing, in
+	// ascending order.
+	MissingBlocks []int
+	// CoveredRows is the total length of the blocks that answered.
+	CoveredRows int64
+	// TotalRows is the full registered row count, including lost blocks.
+	TotalRows int64
+}
+
 // Result is the output of an ISLA estimation run.
 type Result struct {
 	// Estimate is the final AVG answer, Σ avg_j·|B_j|/M.
@@ -42,6 +56,10 @@ type Result struct {
 	// PilotCached reports that the pre-estimation phase was served from a
 	// plan cache instead of being run: the run drew zero pilot samples.
 	PilotCached bool
+	// Partial is non-nil when a distributed run degraded to the reachable
+	// fraction of the data (lost blocks with no live replica, AllowPartial
+	// mode): Estimate then averages over Partial.CoveredRows only.
+	Partial *Partial
 }
 
 // Estimator runs ISLA AVG aggregation over block stores.

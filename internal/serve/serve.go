@@ -200,6 +200,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			defer func() { <-s.sem }()
 		default:
 			s.rejected.Add(1)
+			// Queries are short; tell well-behaved clients when to retry.
+			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, errors.New("server at capacity, retry later"))
 			return
 		}

@@ -249,6 +249,9 @@ func TestAdmissionControl503(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status %d want 503 (%s)", resp.StatusCode, body)
 	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", ra)
+	}
 	if code := <-done; code != http.StatusOK {
 		t.Fatalf("first query status %d", code)
 	}

@@ -215,6 +215,29 @@ type Coordinator = cluster.Coordinator
 // Connect for each worker address, then Run.
 func NewCoordinator(cfg Config) *Coordinator { return cluster.NewCoordinator(cfg) }
 
+// ClusterConfig tunes the coordinator's fault tolerance: per-call
+// deadlines, retry/backoff, the per-query retry budget, health probing and
+// partial-result mode. Assign to Coordinator.Fault; the zero value takes
+// sensible defaults.
+type ClusterConfig = cluster.Config
+
+// BlocksLostError reports blocks whose every replica was unreachable; a
+// cluster run fails with it unless ClusterConfig.AllowPartial is set.
+type BlocksLostError = cluster.BlocksLostError
+
+// Partial accounts for a degraded cluster run (AllowPartial): which blocks
+// were lost and how many rows the answer actually covers.
+type Partial = core.Partial
+
+// ClusterFaults is the deterministic fault-injection harness for the
+// cluster transport: wrap the coordinator's dialer to inject seeded
+// errors, hangs and delays per call, plus scripted worker kills.
+type ClusterFaults = cluster.Faults
+
+// NewClusterFaults returns a fault harness whose per-call decisions derive
+// from seed.
+func NewClusterFaults(seed uint64) *ClusterFaults { return cluster.NewFaults(seed) }
+
 // GroupRow is one (group key, value) observation for grouped aggregation.
 type GroupRow = group.Row
 
