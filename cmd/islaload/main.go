@@ -1,0 +1,226 @@
+// Command islaload drives open-loop load at an islaserv instance and
+// reports what the server delivered: achieved QPS, client-observed
+// latency quantiles (p50/p95/p99), and the rejected/timed-out/truncated
+// counts that show which safety valve opened under pressure.
+//
+// Point it at a running server:
+//
+//	islaload -url http://127.0.0.1:8080 -table sales -qps 200 -duration 10s \
+//	  -mix point=0.4,filtered=0.3,grouped=0.2,budget=0.1 \
+//	  -group-table orders -group-col region -json BENCH_serving.json
+//
+// or let it serve itself for a self-contained smoke run (-selfserve spins
+// up an in-process server over synthetic tables on a loopback port):
+//
+//	islaload -selfserve -qps 50 -duration 3s -json BENCH_serving.json
+//
+// The -mix weights are relative shares of the four traffic classes:
+// point (AVG WITH PRECISION), filtered (adds WHERE v > filter), grouped
+// (GROUP BY on the grouped table) and budget (precision-less statements
+// carrying budget_ms — the latency-budget mode). The generator is
+// open-loop: arrivals follow the clock, not completions, so a slowing
+// server faces mounting concurrency as it would in production.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"isla/internal/engine"
+	"isla/internal/load"
+	"isla/internal/serve"
+	"isla/internal/workload"
+	"isla/internal/workload/groupspec"
+)
+
+func main() {
+	var (
+		url        = flag.String("url", "", "target server base URL (omit with -selfserve)")
+		selfserve  = flag.Bool("selfserve", false, "serve synthetic tables in-process on a loopback port and load that")
+		rows       = flag.Int("rows", 200000, "rows per synthetic table in -selfserve mode")
+		blocks     = flag.Int("blocks", 8, "blocks per synthetic table in -selfserve mode")
+		table      = flag.String("table", "sales", "table for point/filtered/budget traffic")
+		groupTable = flag.String("group-table", "orders", "grouped table for GROUP BY traffic")
+		groupCol   = flag.String("group-col", "region", "group column of -group-table")
+		duration   = flag.Duration("duration", 10*time.Second, "run length")
+		qps        = flag.Float64("qps", 100, "target open-loop arrival rate")
+		mix        = flag.String("mix", "point=0.4,filtered=0.3,grouped=0.2,budget=0.1", "relative traffic-class weights")
+		precision  = flag.Float64("precision", 0.5, "WITH PRECISION target")
+		budgetMS   = flag.Int64("budget-ms", 50, "budget_ms of the budget class")
+		timeoutMS  = flag.Int64("timeout-ms", 0, "timeout_ms sent on every request (0: server default)")
+		filter     = flag.Float64("filter", 95, "WHERE v > filter threshold of the filtered class")
+		seed       = flag.Uint64("seed", 1, "request-stream seed (same seed, same statement stream)")
+		seeds      = flag.Int("seeds", 8, "distinct SEED clauses the stream cycles through")
+		outstand   = flag.Int("outstanding", 256, "max in-flight requests; further arrivals count as dropped")
+		jsonPath   = flag.String("json", "", "write the full report as JSON to this file")
+	)
+	flag.Parse()
+
+	m, err := parseMix(*mix)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	base := *url
+	if *selfserve {
+		if base != "" {
+			fatal(fmt.Errorf("-url and -selfserve are mutually exclusive"))
+		}
+		shutdown, addr, err := startSelfServe(*table, *groupTable, *groupCol, *rows, *blocks)
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+		base = "http://" + addr
+		fmt.Fprintf(os.Stderr, "islaload: self-serving on %s\n", base)
+	}
+	if base == "" {
+		fatal(fmt.Errorf("missing -url (or use -selfserve)"))
+	}
+
+	rep, err := load.Run(ctx, load.Config{
+		BaseURL:        base,
+		Table:          *table,
+		GroupTable:     *groupTable,
+		GroupBy:        *groupCol,
+		Duration:       *duration,
+		QPS:            *qps,
+		Mix:            m,
+		Precision:      *precision,
+		BudgetMS:       *budgetMS,
+		TimeoutMS:      *timeoutMS,
+		FilterValue:    *filter,
+		Seed:           *seed,
+		Seeds:          *seeds,
+		MaxOutstanding: *outstand,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	printReport(rep)
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(struct {
+			GeneratedAt string      `json:"generated_at"`
+			Report      load.Report `json:"report"`
+		}{time.Now().UTC().Format(time.RFC3339), rep}, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "islaload: report written to %s\n", *jsonPath)
+	}
+	if rep.OK == 0 {
+		fatal(fmt.Errorf("no request succeeded (%d sent)", rep.Sent))
+	}
+}
+
+// parseMix parses "point=0.4,filtered=0.3,grouped=0.2,budget=0.1"; absent
+// classes weigh zero.
+func parseMix(s string) (load.Mix, error) {
+	var m load.Mix
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return m, fmt.Errorf("bad -mix entry %q (want class=weight)", part)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad -mix weight %q", part)
+		}
+		switch name {
+		case "point":
+			m.Point = w
+		case "filtered":
+			m.Filtered = w
+		case "grouped":
+			m.Grouped = w
+		case "budget":
+			m.Budget = w
+		default:
+			return m, fmt.Errorf("unknown -mix class %q (want point, filtered, grouped or budget)", name)
+		}
+	}
+	return m, nil
+}
+
+// startSelfServe builds an engine over synthetic tables (a normal table
+// and a two-group grouped table), serves it on a loopback port, and
+// returns the shutdown func and listen address.
+func startSelfServe(table, groupTable, groupCol string, rows, blocks int) (func(), string, error) {
+	catalog := engine.NewCatalog()
+	sales, _, err := workload.Normal(100, 20, rows, blocks, 42)
+	if err != nil {
+		return nil, "", err
+	}
+	catalog.Register(table, sales)
+
+	gRows, gBlocks := rows/4, max(blocks/2, 1)
+	spec := fmt.Sprintf("%s=%s;na:normal:mu=90,sigma=10,n=%d,blocks=%d;eu:normal:mu=110,sigma=10,n=%d,blocks=%d",
+		groupTable, groupCol, gRows, gBlocks, gRows, gBlocks)
+	name, g, err := groupspec.FromSpec(spec)
+	if err != nil {
+		return nil, "", err
+	}
+	catalog.RegisterGrouped(name, g)
+
+	eng := engine.New(catalog)
+	eng.SetWorkers(-1)
+	eng.EnablePlanCache(128)
+	srv, err := serve.New(serve.Config{Engine: eng})
+	if err != nil {
+		return nil, "", err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go httpSrv.Serve(ln) //nolint:errcheck // reported via requests failing
+	shutdown := func() {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutCtx) //nolint:errcheck // best-effort drain on exit
+	}
+	return shutdown, ln.Addr().String(), nil
+}
+
+func printReport(rep load.Report) {
+	fmt.Printf("islaload: %d sent over %.1fs — %.1f QPS achieved (target %.1f)\n",
+		rep.Sent, rep.DurationSeconds, rep.AchievedQPS, rep.Config.QPS)
+	fmt.Printf("  ok %d  rejected %d  timed_out %d  errored %d  truncated %d  dropped %d\n",
+		rep.OK, rep.Rejected, rep.TimedOut, rep.Errored, rep.Truncated, rep.Dropped)
+	fmt.Printf("  latency p50 %.2fms  p95 %.2fms  p99 %.2fms\n", rep.P50MS, rep.P95MS, rep.P99MS)
+	for _, class := range []string{"point", "filtered", "grouped", "budget"} {
+		cr := rep.PerClass[class]
+		if cr == nil {
+			continue
+		}
+		fmt.Printf("  %-8s sent %-5d ok %-5d p50 %.2fms  p99 %.2fms", class, cr.Sent, cr.OK, cr.P50MS, cr.P99MS)
+		if cr.Truncated > 0 {
+			fmt.Printf("  truncated %d", cr.Truncated)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "islaload: %v\n", err)
+	os.Exit(1)
+}

@@ -245,3 +245,30 @@ func TestPruningBench(t *testing.T) {
 		t.Fatalf("unpruned leg still pruned: %+v", full)
 	}
 }
+
+// TestServingBench: the serving section answers real traffic — an "all"
+// row with achieved QPS plus one row per active class, and the class rows
+// partition the total.
+func TestServingBench(t *testing.T) {
+	stats, err := Serving(Options{N: 40000, Blocks: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) < 2 || stats[0].Class != "all" {
+		t.Fatalf("stats = %+v", stats)
+	}
+	all := stats[0]
+	if all.Sent == 0 || all.OK == 0 || all.AchievedQPS <= 0 {
+		t.Fatalf("no traffic served: %+v", all)
+	}
+	if all.Errored != 0 {
+		t.Fatalf("errored = %d; generated statements must all be valid", all.Errored)
+	}
+	var sent int64
+	for _, s := range stats[1:] {
+		sent += s.Sent
+	}
+	if sent != all.Sent {
+		t.Fatalf("class rows sum to %d, all row says %d", sent, all.Sent)
+	}
+}

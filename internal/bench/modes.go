@@ -44,6 +44,10 @@ type ModesReport struct {
 	// Pruning is the zone-map pruning on/off comparison on
 	// range-partitioned block files; see Pruning.
 	Pruning []PruningStat `json:"pruning"`
+	// Serving is the HTTP front end under mixed open-loop load
+	// (client-observed latency and outcome counts per traffic class); see
+	// Serving.
+	Serving []ServingStat `json:"serving"`
 }
 
 // Modes runs all five execution modes — batch, parallel, online,
@@ -139,6 +143,10 @@ func Modes(o Options) (*ModesReport, error) {
 		return nil, err
 	}
 	rep.Pruning, err = Pruning(o)
+	if err != nil {
+		return nil, err
+	}
+	rep.Serving, err = Serving(o)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"isla/internal/engine"
+	"isla/internal/load"
+	"isla/internal/serve"
+	"isla/internal/workload"
+	"isla/internal/workload/groupspec"
+)
+
+// ServingStat is one traffic class's outcome under the serving
+// benchmark — an in-process HTTP server loaded open-loop by the islaload
+// generator. The "all" row aggregates every class and carries the
+// target/achieved QPS.
+type ServingStat struct {
+	Class       string  `json:"class"`
+	TargetQPS   float64 `json:"target_qps,omitempty"`
+	AchievedQPS float64 `json:"achieved_qps,omitempty"`
+	Sent        int64   `json:"sent"`
+	OK          int64   `json:"ok"`
+	Rejected    int64   `json:"rejected"`
+	TimedOut    int64   `json:"timed_out"`
+	Errored     int64   `json:"errored"`
+	Truncated   int64   `json:"truncated"`
+	P50MS       float64 `json:"latency_p50_ms"`
+	P95MS       float64 `json:"latency_p95_ms"`
+	P99MS       float64 `json:"latency_p99_ms"`
+}
+
+// Serving benchmarks the HTTP front end under mixed open-loop load: an
+// in-process server over a synthetic normal table and a two-group
+// grouped table, loaded for ~1.5s with the standard point/filtered/
+// grouped/budget mix. It reports client-observed latency quantiles and
+// outcome counts — the serving-path counterpart of the engine-side mode
+// benchmarks.
+func Serving(o Options) ([]ServingStat, error) {
+	o = o.Defaults()
+	catalog := engine.NewCatalog()
+	sales, _, err := workload.Normal(100, 20, o.N, o.Blocks, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	catalog.Register("sales", sales)
+	gRows, gBlocks := o.N/4, max(o.Blocks/2, 1)
+	spec := fmt.Sprintf("orders=region;na:normal:mu=90,sigma=10,n=%d,blocks=%d;eu:normal:mu=110,sigma=10,n=%d,blocks=%d",
+		gRows, gBlocks, gRows, gBlocks)
+	name, g, err := groupspec.FromSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	catalog.RegisterGrouped(name, g)
+
+	eng := engine.New(catalog)
+	eng.SetWorkers(-1)
+	eng.EnablePlanCache(128)
+	srv, err := serve.New(serve.Config{Engine: eng})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go httpSrv.Serve(ln) //nolint:errcheck // surfaces as request errors
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx) //nolint:errcheck // best-effort drain
+	}()
+
+	rep, err := load.Run(context.Background(), load.Config{
+		BaseURL:     "http://" + ln.Addr().String(),
+		Table:       "sales",
+		GroupTable:  "orders",
+		GroupBy:     "region",
+		Duration:    1500 * time.Millisecond,
+		QPS:         150,
+		Mix:         load.Mix{Point: 0.4, Filtered: 0.3, Grouped: 0.2, Budget: 0.1},
+		FilterValue: 95,
+		Seed:        o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := []ServingStat{{
+		Class:       "all",
+		TargetQPS:   rep.Config.QPS,
+		AchievedQPS: rep.AchievedQPS,
+		Sent:        rep.Sent,
+		OK:          rep.OK,
+		Rejected:    rep.Rejected,
+		TimedOut:    rep.TimedOut,
+		Errored:     rep.Errored,
+		Truncated:   rep.Truncated,
+		P50MS:       rep.P50MS,
+		P95MS:       rep.P95MS,
+		P99MS:       rep.P99MS,
+	}}
+	for _, class := range []string{"point", "filtered", "grouped", "budget"} {
+		cr := rep.PerClass[class]
+		if cr == nil {
+			continue
+		}
+		out = append(out, ServingStat{
+			Class:     class,
+			Sent:      cr.Sent,
+			OK:        cr.OK,
+			Rejected:  cr.Rejected,
+			TimedOut:  cr.TimedOut,
+			Errored:   cr.Errored,
+			Truncated: cr.Truncated,
+			P50MS:     cr.P50MS,
+			P95MS:     cr.P95MS,
+			P99MS:     cr.P99MS,
+		})
+	}
+	return out, nil
+}

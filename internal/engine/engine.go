@@ -19,6 +19,7 @@ import (
 	"isla/internal/core"
 	"isla/internal/group"
 	"isla/internal/leverage"
+	"isla/internal/metrics"
 	"isla/internal/plancache"
 	"isla/internal/query"
 	"isla/internal/stats"
@@ -133,6 +134,12 @@ type Result struct {
 	// Truncated reports that a time-budgeted run hit its hard wall-clock
 	// cutoff: the answer covers only a prefix of the table's blocks.
 	Truncated bool
+	// AchievedPrecision is the precision a time-budgeted run derived from
+	// its wall-clock budget (§VII-F); 0 for precision-target queries.
+	AchievedPrecision float64
+	// CoveredBlocks is the number of blocks merged into a time-budgeted
+	// answer (all of them unless Truncated); 0 for other modes.
+	CoveredBlocks int
 	// Groups holds the per-group answers of a GROUP BY query, sorted by
 	// group key; Value is then unset and Samples sums across groups. A
 	// group that failed carries Err and zero values — its siblings still
@@ -206,11 +213,39 @@ type Engine struct {
 	served     atomic.Int64
 	perTable   sync.Map // table name → *atomic.Int64 query counts
 	statsFrom  time.Time
+	metrics    *metrics.Registry
 }
 
 // New returns an engine over catalog with the paper's default config.
 func New(catalog *Catalog) *Engine {
-	return &Engine{Catalog: catalog, base: core.DefaultConfig(), statsFrom: time.Now()}
+	return &Engine{
+		Catalog:   catalog,
+		base:      core.DefaultConfig(),
+		statsFrom: time.Now(),
+		metrics:   metrics.NewRegistry(),
+	}
+}
+
+// Metrics returns the engine's observability registry: per-table,
+// per-class latency histograms, query/sample/truncation counters and
+// windowed rates, recorded on every completed query. Front ends render
+// it (serve's GET /metrics) — the engine itself only writes.
+func (e *Engine) Metrics() *metrics.Registry { return e.metrics }
+
+// classify buckets a query into its metrics class. A budgeted run
+// dominates (its latency is bounded by construction), then grouped (a
+// per-group fan-out), then filtered.
+func classify(q query.Query) metrics.Class {
+	switch {
+	case q.TimeBudget > 0:
+		return metrics.ClassTimebound
+	case q.GroupBy != "":
+		return metrics.ClassGrouped
+	case len(q.Predicates) > 0:
+		return metrics.ClassFiltered
+	default:
+		return metrics.ClassPoint
+	}
 }
 
 // BaseConfig returns a copy of the engine's base configuration. Mutating
@@ -311,14 +346,16 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
-// countQuery updates the serving counters for one completed query.
-func (e *Engine) countQuery(table string) {
+// countQuery updates the serving counters and the metrics registry for
+// one completed query.
+func (e *Engine) countQuery(table string, q query.Query, res *Result) {
 	e.served.Add(1)
 	v, ok := e.perTable.Load(table)
 	if !ok {
 		v, _ = e.perTable.LoadOrStore(table, new(atomic.Int64))
 	}
 	v.(*atomic.Int64).Add(1)
+	e.metrics.Observe(table, classify(q), res.Duration, res.Samples, res.Truncated)
 }
 
 // ExecuteSQL parses and executes one statement.
@@ -385,7 +422,7 @@ func (e *Engine) ExecuteContext(ctx context.Context, q query.Query) (Result, err
 			res.Samples += p.samples
 		}
 		res.Duration = time.Since(start)
-		e.countQuery(tbl.Name)
+		e.countQuery(tbl.Name, q, &res)
 		return res, nil
 	}
 
@@ -398,9 +435,11 @@ func (e *Engine) ExecuteContext(ctx context.Context, q query.Query) (Result, err
 	res.Samples = p.samples
 	res.Detail = p.detail
 	res.Truncated = p.truncated
+	res.AchievedPrecision = p.achieved
+	res.CoveredBlocks = p.covered
 	res.Filter = p.filter
 	res.Duration = time.Since(start)
-	e.countQuery(tbl.Name)
+	e.countQuery(tbl.Name, q, &res)
 	return res, nil
 }
 
@@ -431,6 +470,8 @@ type partial struct {
 	samples   int64
 	detail    *core.Result
 	truncated bool
+	achieved  float64 // §VII-F budget-derived precision
+	covered   int     // blocks merged into a time-budgeted answer
 	exact     bool
 	cached    bool
 	filter    *FilterInfo
@@ -604,7 +645,8 @@ func (e *Engine) average(ctx context.Context, q query.Query, cfg core.Config, tb
 			}
 			tb.Result.PilotCached = hit
 			return tb.Estimate, partial{ci: &tb.CI, samples: tb.TotalSamples,
-				detail: &tb.Result, truncated: tb.Truncated, cached: hit}, nil
+				detail: &tb.Result, truncated: tb.Truncated, cached: hit,
+				achieved: tb.AchievedPrecision, covered: tb.CoveredBlocks}, nil
 		}
 		if cache := e.cache.Load(); cache != nil {
 			fp, hit, err := e.frozenPilot(ctx, cache, tbl, grouped, groupKey, s, cfg)

@@ -1,0 +1,354 @@
+// Package load is an open-loop HTTP load generator for the serve front
+// end — the measurement half of the paper's "system serving heavy
+// traffic" claim. It fires a configurable mix of point, filtered, grouped
+// and latency-budgeted statements at a target arrival rate and reports
+// what the server actually delivered: achieved QPS, client-observed
+// latency quantiles, and the rejection/timeout/truncation counts that
+// tell an operator which safety valve opened.
+//
+// The loop is open (arrivals are scheduled on a clock, not gated on
+// completions), so a slowing server faces mounting concurrency exactly
+// as it would in production — the MaxOutstanding bound is the only
+// back-pressure, and requests dropped there are reported, not silently
+// skipped.
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"isla/internal/metrics"
+	"isla/internal/serve"
+	"isla/internal/stats"
+)
+
+// Mix weighs the traffic classes. Weights are relative (they need not
+// sum to 1); a zero weight disables the class.
+type Mix struct {
+	// Point is the plain "SELECT AVG(v) FROM t WITH PRECISION e" share.
+	Point float64 `json:"point"`
+	// Filtered adds a WHERE v > threshold predicate.
+	Filtered float64 `json:"filtered"`
+	// Grouped targets the grouped table with GROUP BY.
+	Grouped float64 `json:"grouped"`
+	// Budget sends precision-less statements with budget_ms set — the
+	// latency-budget mode over HTTP.
+	Budget float64 `json:"budget"`
+}
+
+func (m Mix) total() float64 { return m.Point + m.Filtered + m.Grouped + m.Budget }
+
+// Config tunes one load run.
+type Config struct {
+	// BaseURL of the target server, e.g. "http://127.0.0.1:8080".
+	BaseURL string `json:"base_url"`
+	// Table receives the point/filtered/budget traffic. Required.
+	Table string `json:"table"`
+	// GroupTable and GroupBy name the grouped table and its group column;
+	// required iff Mix.Grouped > 0.
+	GroupTable string `json:"group_table,omitempty"`
+	GroupBy    string `json:"group_by,omitempty"`
+	// Duration of the run.
+	Duration time.Duration `json:"-"`
+	// QPS is the target open-loop arrival rate.
+	QPS float64 `json:"target_qps"`
+	// Mix weighs the traffic classes (default: all point).
+	Mix Mix `json:"mix"`
+	// Precision is the WITH PRECISION target (default 0.5).
+	Precision float64 `json:"precision"`
+	// BudgetMS is the latency budget of the Budget class (default 50).
+	BudgetMS int64 `json:"budget_ms"`
+	// TimeoutMS is sent as timeout_ms on every request; 0 leaves the
+	// server default in force.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// FilterValue is the WHERE threshold of the Filtered class.
+	FilterValue float64 `json:"filter_value"`
+	// Seed drives request-stream randomness (class choice and SEED
+	// clauses); a fixed seed replays the same statement stream.
+	Seed uint64 `json:"seed"`
+	// Seeds is how many distinct SEED values the stream cycles through
+	// (default 8): small enough to exercise plan-cache hits, large
+	// enough to vary the sampling.
+	Seeds int `json:"seeds"`
+	// MaxOutstanding bounds concurrently in-flight requests (default
+	// 256). Arrivals beyond the bound are counted as Dropped — the
+	// client-side symptom of a server that has fallen behind the
+	// arrival rate.
+	MaxOutstanding int `json:"max_outstanding"`
+	// Client overrides the HTTP client (default: http.DefaultClient
+	// semantics with no client-side timeout — deadlines belong to the
+	// server and to ctx).
+	Client *http.Client `json:"-"`
+}
+
+func (c Config) normalize() (Config, error) {
+	if c.BaseURL == "" {
+		return c, errors.New("load: missing BaseURL")
+	}
+	if c.Table == "" {
+		return c, errors.New("load: missing Table")
+	}
+	if c.Duration <= 0 {
+		return c, errors.New("load: Duration must be positive")
+	}
+	if c.QPS <= 0 {
+		return c, errors.New("load: QPS must be positive")
+	}
+	if c.Mix.total() <= 0 {
+		c.Mix = Mix{Point: 1}
+	}
+	if c.Mix.Point < 0 || c.Mix.Filtered < 0 || c.Mix.Grouped < 0 || c.Mix.Budget < 0 {
+		return c, errors.New("load: mix weights must be non-negative")
+	}
+	if c.Mix.Grouped > 0 && (c.GroupTable == "" || c.GroupBy == "") {
+		return c, errors.New("load: grouped traffic needs GroupTable and GroupBy")
+	}
+	if c.Precision <= 0 {
+		c.Precision = 0.5
+	}
+	if c.BudgetMS <= 0 {
+		c.BudgetMS = 50
+	}
+	if c.Seeds <= 0 {
+		c.Seeds = 8
+	}
+	if c.MaxOutstanding <= 0 {
+		c.MaxOutstanding = 256
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c, nil
+}
+
+// ClassReport is one traffic class's outcome counts and client-observed
+// latency quantiles (milliseconds).
+type ClassReport struct {
+	Sent      int64   `json:"sent"`
+	OK        int64   `json:"ok"`
+	Rejected  int64   `json:"rejected"`
+	TimedOut  int64   `json:"timed_out"`
+	Errored   int64   `json:"errored"`
+	Truncated int64   `json:"truncated"`
+	P50MS     float64 `json:"latency_p50_ms"`
+	P95MS     float64 `json:"latency_p95_ms"`
+	P99MS     float64 `json:"latency_p99_ms"`
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Config          Config  `json:"config"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Sent counts requests that went on the wire; Dropped the arrivals
+	// the MaxOutstanding bound refused to launch.
+	Sent    int64 `json:"sent"`
+	Dropped int64 `json:"dropped"`
+	// AchievedQPS is completed requests per second of run time.
+	AchievedQPS float64                 `json:"achieved_qps"`
+	OK          int64                   `json:"ok"`
+	Rejected    int64                   `json:"rejected"`
+	TimedOut    int64                   `json:"timed_out"`
+	Errored     int64                   `json:"errored"`
+	Truncated   int64                   `json:"truncated"`
+	P50MS       float64                 `json:"latency_p50_ms"`
+	P95MS       float64                 `json:"latency_p95_ms"`
+	P99MS       float64                 `json:"latency_p99_ms"`
+	PerClass    map[string]*ClassReport `json:"per_class"`
+}
+
+// request is one scheduled arrival, generated single-threaded in the
+// pacing loop so the RNG needs no locking.
+type request struct {
+	class string
+	body  serve.QueryRequest
+}
+
+// tally accumulates one class's outcomes with atomics; the overall
+// report sums the classes.
+type tally struct {
+	sent, ok, rejected, timedOut, errored, truncated atomic.Int64
+	hist                                             metrics.Histogram
+}
+
+// Run drives the configured traffic against cfg.BaseURL until
+// cfg.Duration elapses or ctx is cancelled (cancellation stops new
+// arrivals and waits for in-flight requests). The error covers only
+// configuration problems — per-request failures are data, reported in
+// the counts.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return Report{}, err
+	}
+
+	rng := stats.NewRNG(cfg.Seed)
+	tallies := map[string]*tally{
+		"point": {}, "filtered": {}, "grouped": {}, "budget": {},
+	}
+	overall := &metrics.Histogram{}
+
+	interval := time.Duration(float64(time.Second) / cfg.QPS)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	sem := make(chan struct{}, cfg.MaxOutstanding)
+	var wg sync.WaitGroup
+	var dropped atomic.Int64
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	for i := int64(0); ; i++ {
+		target := start.Add(time.Duration(i) * interval)
+		if target.After(deadline) {
+			break
+		}
+		if d := time.Until(target); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		req := cfg.genRequest(rng)
+		select {
+		case sem <- struct{}{}:
+		default:
+			// The server (or its admission queue) has fallen behind the
+			// open-loop arrival rate: record the refusal instead of
+			// letting goroutines pile up without bound.
+			dropped.Add(1)
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fire(ctx, cfg, req, tallies[req.class], overall)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{
+		Config:          cfg,
+		DurationSeconds: elapsed.Seconds(),
+		Dropped:         dropped.Load(),
+		P50MS:           1000 * overall.Quantile(0.5),
+		P95MS:           1000 * overall.Quantile(0.95),
+		P99MS:           1000 * overall.Quantile(0.99),
+		PerClass:        make(map[string]*ClassReport),
+	}
+	for class, t := range tallies {
+		if t.sent.Load() == 0 {
+			continue
+		}
+		cr := &ClassReport{
+			Sent:      t.sent.Load(),
+			OK:        t.ok.Load(),
+			Rejected:  t.rejected.Load(),
+			TimedOut:  t.timedOut.Load(),
+			Errored:   t.errored.Load(),
+			Truncated: t.truncated.Load(),
+			P50MS:     1000 * t.hist.Quantile(0.5),
+			P95MS:     1000 * t.hist.Quantile(0.95),
+			P99MS:     1000 * t.hist.Quantile(0.99),
+		}
+		rep.PerClass[class] = cr
+		rep.Sent += cr.Sent
+		rep.OK += cr.OK
+		rep.Rejected += cr.Rejected
+		rep.TimedOut += cr.TimedOut
+		rep.Errored += cr.Errored
+		rep.Truncated += cr.Truncated
+	}
+	if elapsed > 0 {
+		rep.AchievedQPS = float64(overall.Count()) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+// genRequest draws the next arrival: a class (weighted by the mix) and
+// its statement, with the SEED clause cycling through cfg.Seeds values.
+func (c Config) genRequest(rng *stats.RNG) request {
+	seed := 1 + rng.Uint64()%uint64(c.Seeds)
+	pick := rng.Float64() * c.Mix.total()
+	switch {
+	case pick < c.Mix.Point:
+		return request{class: "point", body: serve.QueryRequest{
+			SQL: fmt.Sprintf("SELECT AVG(v) FROM %s WITH PRECISION %g SEED %d",
+				c.Table, c.Precision, seed),
+			TimeoutMS: c.TimeoutMS,
+		}}
+	case pick < c.Mix.Point+c.Mix.Filtered:
+		return request{class: "filtered", body: serve.QueryRequest{
+			SQL: fmt.Sprintf("SELECT AVG(v) FROM %s WHERE v > %g WITH PRECISION %g SEED %d",
+				c.Table, c.FilterValue, c.Precision, seed),
+			TimeoutMS: c.TimeoutMS,
+		}}
+	case pick < c.Mix.Point+c.Mix.Filtered+c.Mix.Grouped:
+		return request{class: "grouped", body: serve.QueryRequest{
+			SQL: fmt.Sprintf("SELECT AVG(v) FROM %s GROUP BY %s WITH PRECISION %g SEED %d",
+				c.GroupTable, c.GroupBy, c.Precision, seed),
+			TimeoutMS: c.TimeoutMS,
+		}}
+	default:
+		return request{class: "budget", body: serve.QueryRequest{
+			SQL:       fmt.Sprintf("SELECT AVG(v) FROM %s SEED %d", c.Table, seed),
+			TimeoutMS: c.TimeoutMS,
+			BudgetMS:  c.BudgetMS,
+		}}
+	}
+}
+
+// fire sends one request and files its outcome. Latency is recorded for
+// every answered request — an operator's p99 includes the 503s and 504s
+// the clients actually waited for.
+func fire(ctx context.Context, cfg Config, req request, t *tally, overall *metrics.Histogram) {
+	t.sent.Add(1)
+	body, err := json.Marshal(req.body)
+	if err != nil {
+		t.errored.Add(1)
+		return
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/query", bytes.NewReader(body))
+	if err != nil {
+		t.errored.Add(1)
+		return
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+
+	start := time.Now()
+	resp, err := cfg.Client.Do(hreq)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.errored.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	t.hist.Observe(elapsed)
+	overall.Observe(elapsed)
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		t.ok.Add(1)
+		var qr serve.QueryResponse
+		if json.NewDecoder(resp.Body).Decode(&qr) == nil && qr.Truncated {
+			t.truncated.Add(1)
+		}
+	case http.StatusServiceUnavailable:
+		t.rejected.Add(1)
+	case http.StatusGatewayTimeout:
+		t.timedOut.Add(1)
+	default:
+		t.errored.Add(1)
+	}
+}

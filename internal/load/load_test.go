@@ -1,0 +1,149 @@
+package load
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"isla/internal/engine"
+	"isla/internal/serve"
+	"isla/internal/stats"
+	"isla/internal/workload"
+	"isla/internal/workload/groupspec"
+)
+
+func newTarget(t *testing.T) *httptest.Server {
+	t.Helper()
+	catalog := engine.NewCatalog()
+	sales, _, err := workload.Normal(100, 20, 40000, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog.Register("sales", sales)
+	name, g, err := groupspec.FromSpec(
+		"orders=region;na:normal:mu=90,sigma=10,n=10000,blocks=2;eu:normal:mu=110,sigma=10,n=10000,blocks=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog.RegisterGrouped(name, g)
+
+	eng := engine.New(catalog)
+	eng.EnablePlanCache(64)
+	srv, err := serve.New(serve.Config{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunMixedTraffic(t *testing.T) {
+	ts := newTarget(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Table:       "sales",
+		GroupTable:  "orders",
+		GroupBy:     "region",
+		Duration:    500 * time.Millisecond,
+		QPS:         100,
+		Mix:         Mix{Point: 0.4, Filtered: 0.3, Grouped: 0.2, Budget: 0.1},
+		FilterValue: 95,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent < 20 {
+		t.Fatalf("sent = %d, want a few dozen at 100 QPS over 500ms", rep.Sent)
+	}
+	if rep.OK == 0 || rep.OK+rep.Rejected+rep.TimedOut+rep.Errored != rep.Sent {
+		t.Fatalf("outcomes do not partition sent: %+v", rep)
+	}
+	if rep.Errored != 0 {
+		t.Fatalf("errored = %d; every generated statement must be valid", rep.Errored)
+	}
+	if rep.AchievedQPS <= 0 || rep.P50MS <= 0 || rep.P99MS < rep.P50MS {
+		t.Fatalf("latency accounting: %+v", rep)
+	}
+	// At 100 QPS over 500ms every class's weight share should fire.
+	for _, class := range []string{"point", "filtered", "grouped", "budget"} {
+		cr := rep.PerClass[class]
+		if cr == nil || cr.Sent == 0 {
+			t.Fatalf("class %s sent nothing: %+v", class, rep.PerClass)
+		}
+	}
+	if rep.PerClass["budget"].OK == 0 {
+		t.Fatalf("budgeted statements all failed: %+v", rep.PerClass["budget"])
+	}
+}
+
+func TestRunDeterministicStream(t *testing.T) {
+	// Same seed → same statement stream: the class split is identical
+	// across runs even though the HTTP timing differs.
+	cfg, err := Config{BaseURL: "http://unused", Table: "t", Duration: time.Second, QPS: 1}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Mix = Mix{Point: 1, Filtered: 1, Grouped: 0, Budget: 1}
+	stream := func() []string {
+		rng := stats.NewRNG(cfg.Seed)
+		var out []string
+		for i := 0; i < 50; i++ {
+			out = append(out, cfg.genRequest(rng).body.SQL)
+		}
+		return out
+	}
+	a, b := stream(), stream()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream diverged at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	cases := []Config{
+		{},
+		{BaseURL: "http://x"},
+		{BaseURL: "http://x", Table: "t"},
+		{BaseURL: "http://x", Table: "t", Duration: time.Second},
+		{BaseURL: "http://x", Table: "t", Duration: time.Second, QPS: 10,
+			Mix: Mix{Grouped: 1}},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("case %d: expected a config error", i)
+		}
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ts := newTarget(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Report, 1)
+	go func() {
+		rep, err := Run(ctx, Config{
+			BaseURL:  ts.URL,
+			Table:    "sales",
+			Duration: time.Hour,
+			QPS:      20,
+			Seed:     2,
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rep
+	}()
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+	select {
+	case rep := <-done:
+		if rep.DurationSeconds > 10 {
+			t.Fatalf("run outlived its cancellation: %+v", rep)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop on cancellation")
+	}
+}

@@ -1,0 +1,29 @@
+package query
+
+import "fmt"
+
+// WithTimeBudget returns a copy of q switched to the §VII-F
+// time-constraint mode with the given wall-clock budget in seconds — the
+// programmatic equivalent of the WITH TIME clause, used by front ends
+// that accept the budget out of band (serve's budget_ms field). It
+// applies the same cross-field validation as the parser, so a budget can
+// never be attached to a statement the grammar would have rejected.
+func (q Query) WithTimeBudget(seconds float64) (Query, error) {
+	if !(seconds > 0) {
+		return q, fmt.Errorf("query: time budget %v must be positive", seconds)
+	}
+	if q.TimeBudget > 0 {
+		return q, fmt.Errorf("query: statement already carries WITH TIME %v", q.TimeBudget)
+	}
+	if len(q.Predicates) > 0 {
+		return q, fmt.Errorf("query: a time budget cannot be combined with WHERE predicates")
+	}
+	if q.GroupBy != "" {
+		return q, fmt.Errorf("query: a time budget cannot be combined with GROUP BY")
+	}
+	if q.Method != MethodISLA {
+		return q, fmt.Errorf("query: a time budget is only supported with METHOD ISLA")
+	}
+	q.TimeBudget = seconds
+	return q, nil
+}

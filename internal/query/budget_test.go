@@ -1,0 +1,45 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWithTimeBudget(t *testing.T) {
+	q, err := Parse("SELECT AVG(v) FROM t WITH PRECISION 0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := q.WithTimeBudget(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TimeBudget != 0.05 {
+		t.Fatalf("budget = %v", b.TimeBudget)
+	}
+	if q.TimeBudget != 0 {
+		t.Fatal("WithTimeBudget mutated the receiver")
+	}
+
+	cases := []struct {
+		sql    string
+		budget float64
+		want   string
+	}{
+		{"SELECT AVG(v) FROM t WITH PRECISION 0.5", 0, "must be positive"},
+		{"SELECT AVG(v) FROM t WITH PRECISION 0.5", -1, "must be positive"},
+		{"SELECT AVG(v) FROM t WITH TIME 1", 0.5, "already carries WITH TIME"},
+		{"SELECT AVG(v) FROM t WHERE v > 3 WITH PRECISION 0.5", 0.5, "WHERE"},
+		{"SELECT AVG(v) FROM t GROUP BY g WITH PRECISION 0.5", 0.5, "GROUP BY"},
+		{"SELECT AVG(v) FROM t METHOD US WITH PRECISION 0.5", 0.5, "METHOD ISLA"},
+	}
+	for _, tc := range cases {
+		q, err := Parse(tc.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.sql, err)
+		}
+		if _, err := q.WithTimeBudget(tc.budget); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s budget=%v: err = %v, want containing %q", tc.sql, tc.budget, err, tc.want)
+		}
+	}
+}

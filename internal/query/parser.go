@@ -125,6 +125,39 @@ func (q Query) Equal(o Query) bool {
 // Parse parses one statement of the dialect described in the package
 // comment.
 func Parse(input string) (Query, error) {
+	q, err := parseRaw(input)
+	if err != nil {
+		return Query{}, err
+	}
+	if err := validate(q); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// ParseWithTimeBudget parses input with an out-of-band wall-clock budget
+// (seconds) applied before cross-field validation — the serve layer's
+// budget_ms. A statement that omits its precision target therefore
+// parses when the budget supplies one, exactly as if it had been written
+// with WITH TIME; a statement that already carries WITH TIME, WHERE,
+// GROUP BY or a non-ISLA method is rejected like Query.WithTimeBudget
+// rejects it.
+func ParseWithTimeBudget(input string, seconds float64) (Query, error) {
+	q, err := parseRaw(input)
+	if err != nil {
+		return Query{}, err
+	}
+	if q, err = q.WithTimeBudget(seconds); err != nil {
+		return Query{}, err
+	}
+	if err := validate(q); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// parseRaw lexes and parses without the cross-field validation pass.
+func parseRaw(input string) (Query, error) {
 	toks, err := lex(input)
 	if err != nil {
 		return Query{}, err
@@ -278,7 +311,7 @@ func (p *parser) parseQuery() (Query, error) {
 		t := p.cur()
 		switch {
 		case t.kind == tokEOF:
-			return q, p.finish(q)
+			return q, nil
 		case keywordIs(t, "WITH"), keywordIs(t, "WHERE"), keywordIs(t, "AND"):
 			p.next()
 		case keywordIs(t, "GROUP"):
@@ -349,8 +382,9 @@ func (p *parser) parseQuery() (Query, error) {
 	}
 }
 
-// finish applies cross-field validation once the token stream is consumed.
-func (p *parser) finish(q Query) error {
+// validate applies cross-field validation once the token stream is
+// consumed — after any out-of-band time budget has been injected.
+func validate(q Query) error {
 	// An unfiltered COUNT is exact from metadata; a filtered COUNT is an
 	// estimated selectivity count and needs a precision target like AVG.
 	needsPrecision := q.Agg != COUNT || len(q.Predicates) > 0

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A huge timeout_ms used to wrap the int64 nanosecond multiply around to
+// a non-positive duration (1<<60 ms lands on exactly 0ns; nearby values
+// land negative), skipping both the MaxTimeout cap (wrapped < cap) and
+// the deadline arming (wrapped ≤ 0) — a client could opt out of the
+// operator's timeout entirely. The fix caps in integer milliseconds
+// before the multiply; this regression test first documents the overflow
+// mechanism, then proves the deadline fires anyway.
+func TestTimeoutOverflowCannotEscapeMaxTimeout(t *testing.T) {
+	huge := int64(1) << 60
+	// The escape mechanism the old code fell into: the naive conversion
+	// wraps to ≤ 0, so "timeout > MaxTimeout" was false and
+	// "timeout > 0" disarmed the deadline.
+	if d := time.Duration(huge) * time.Millisecond; d > 0 {
+		t.Fatalf("expected the naive conversion to wrap non-positive, got %v", d)
+	}
+
+	// Slow blocks make the query far outlast the 50ms MaxTimeout. With
+	// the overflow, no deadline was armed and this returned 200 after the
+	// full run; the fix makes the capped deadline fire and answer 504.
+	eng, _ := newSlowEngine(60 * time.Millisecond)
+	srv, err := New(Config{Engine: eng, MaxTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postQuery(t, ts.URL, QueryRequest{
+		SQL:       "SELECT AVG(v) FROM slow WITH PRECISION 0.5 SEED 1",
+		TimeoutMS: huge,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d want 504 (%s) — the timeout escaped", resp.StatusCode, body)
+	}
+	// The 504 body reports the actually-enforced deadline, not the
+	// client's requested (overflowing) value.
+	if !strings.Contains(string(body), "50ms") {
+		t.Fatalf("504 body does not name the enforced deadline: %s", body)
+	}
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.TimedOut != 1 {
+		t.Fatalf("timed_out = %d", st.TimedOut)
+	}
+}
+
+// With no cap configured (MaxTimeout < 0) a huge timeout_ms must clamp to
+// the representable maximum rather than overflow into "no deadline".
+func TestTimeoutOverflowClampsWithoutCap(t *testing.T) {
+	eng, _ := newSlowEngine(time.Millisecond)
+	srv, err := New(Config{Engine: eng, MaxTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postQuery(t, ts.URL, QueryRequest{
+		SQL:       "SELECT AVG(v) FROM slow WITH PRECISION 0.5 SEED 1",
+		TimeoutMS: int64(1) << 60,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (%s)", resp.StatusCode, body)
+	}
+}
+
+// A client hanging up mid-query is not a server error: it answers the
+// nginx-style 499 and lands in the cancelled counter, leaving the
+// operator's error rate clean.
+func TestClientDisconnectCounted499(t *testing.T) {
+	eng, started := newSlowEngine(100 * time.Millisecond)
+	srv, err := New(Config{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started // the engine is mid-query: now the client walks away
+		cancel()
+	}()
+	req := httptest.NewRequest(http.MethodPost, "/query",
+		strings.NewReader(`{"sql":"SELECT AVG(v) FROM slow WITH PRECISION 0.5 SEED 1"}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+
+	if rec.Code != StatusClientClosedRequest {
+		t.Fatalf("status %d want 499 (%s)", rec.Code, rec.Body)
+	}
+
+	stReq := httptest.NewRequest(http.MethodGet, "/stats", nil)
+	stRec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(stRec, stReq)
+	var st StatsResponse
+	if err := json.Unmarshal(stRec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cancelled != 1 {
+		t.Fatalf("cancelled = %d, want 1", st.Cancelled)
+	}
+	if st.Errored != 0 {
+		t.Fatalf("errored = %d; client disconnects polluted the error rate", st.Errored)
+	}
+}
+
+// When the operator disabled the server timeout and the fired deadline
+// belongs to the request's own context, the 504 must say so instead of
+// misreporting the unset server timeout (the old body rendered
+// "timed out after -1ns"-style garbage).
+func TestTimeout504ReportsEffectiveDeadline(t *testing.T) {
+	eng, _ := newSlowEngine(100 * time.Millisecond)
+	srv, err := New(Config{Engine: eng, DefaultTimeout: -1, MaxTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req := httptest.NewRequest(http.MethodPost, "/query",
+		strings.NewReader(`{"sql":"SELECT AVG(v) FROM slow WITH PRECISION 0.5 SEED 1"}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d want 504 (%s)", rec.Code, rec.Body)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "request's own deadline") {
+		t.Fatalf("504 body misreports the deadline source: %s", body)
+	}
+	if strings.Contains(body, "-1") {
+		t.Fatalf("504 body leaks the unset server timeout: %s", body)
+	}
+}

@@ -1,19 +1,27 @@
 // Package serve is the HTTP/JSON front end of the query engine — the
 // paper's "system serving heavy traffic" face. It exposes the engine over
-// four stdlib-only endpoints:
+// five stdlib-only endpoints:
 //
-//	POST /query    {"sql": "...", "timeout_ms": 500}  → answer + CI + diagnostics
+//	POST /query    {"sql": "...", "timeout_ms": 500, "budget_ms": 50}  → answer + CI + diagnostics
 //	GET  /tables   registered tables with row/block counts
 //	GET  /healthz  liveness probe
-//	GET  /stats    plan-cache counters, in-flight queries, per-table QPS
+//	GET  /stats    windowed QPS, latency quantiles, cache + error counters
+//	GET  /metrics  the same observability in Prometheus text format
 //
 // Concurrency control is two-layered: the engine itself is safe for
 // concurrent use (immutable base config, per-query derived configs, plan
 // cache with single-flight pilots), and the server adds admission control
 // — a semaphore bounding concurrently executing queries; requests beyond
 // the bound are rejected with 503 rather than queued without bound.
-// Per-request timeouts map to context deadlines on ExecuteSQLContext and
-// surface as 504.
+// Per-request timeouts map to context deadlines on the engine call and
+// surface as 504; a client hanging up surfaces as the nginx-style 499
+// (never counted as a server error). budget_ms switches the statement to
+// the §VII-F latency-budget mode ("answer in ≤ budget at the best
+// precision you can"): the run is truncated rather than failed when the
+// budget expires, and the response reports truncated,
+// achieved_precision and covered_blocks. The budget must fit under the
+// request's effective deadline, so a budgeted query can never be killed
+// by the timeout it was trying to beat.
 package serve
 
 import (
@@ -21,13 +29,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sync/atomic"
 	"time"
 
 	"isla/internal/engine"
+	"isla/internal/metrics"
+	"isla/internal/query"
 	"isla/internal/stats"
 )
+
+// StatusClientClosedRequest is the non-standard (nginx-convention) status
+// for requests whose client went away before the answer was ready.
+const StatusClientClosedRequest = 499
 
 // Config tunes the server.
 type Config struct {
@@ -61,13 +76,15 @@ func (c Config) normalize() Config {
 
 // Server is the HTTP front end. Create with New, mount via Handler.
 type Server struct {
-	eng      *engine.Engine
-	cfg      Config
-	sem      chan struct{}
-	mux      *http.ServeMux
-	rejected atomic.Int64
-	timedOut atomic.Int64
-	errored  atomic.Int64
+	eng       *engine.Engine
+	cfg       Config
+	sem       chan struct{}
+	mux       *http.ServeMux
+	started   time.Time
+	rejected  atomic.Int64
+	timedOut  atomic.Int64
+	cancelled atomic.Int64
+	errored   atomic.Int64
 }
 
 // New returns a server over cfg.Engine.
@@ -76,7 +93,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("serve: nil engine")
 	}
 	cfg = cfg.normalize()
-	s := &Server{eng: cfg.Engine, cfg: cfg}
+	s := &Server{eng: cfg.Engine, cfg: cfg, started: time.Now()}
 	if cfg.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInFlight)
 	}
@@ -85,6 +102,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/tables", s.handleTables)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s, nil
 }
 
@@ -98,6 +116,13 @@ type QueryRequest struct {
 	// default. Values are capped at the server's MaxTimeout; negative
 	// values are rejected with 400.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// BudgetMS switches the statement to the latency-budget mode: the
+	// engine spends at most ~budget wall-clock on the answer and reports
+	// the precision that bought (equivalent to the SQL WITH TIME clause,
+	// which the statement must then not carry itself). The budget must
+	// fit under the request's effective timeout; larger budgets are
+	// rejected with 400 rather than silently raced against the deadline.
+	BudgetMS int64 `json:"budget_ms,omitempty"`
 }
 
 // CIResponse is a confidence interval in the wire format.
@@ -113,19 +138,25 @@ type CIResponse struct {
 // Groups (one row per group key, sorted; the top-level value is then
 // zero); WHERE statements carry their selectivity diagnostics in Filter.
 type QueryResponse struct {
-	SQL         string          `json:"sql"`
-	Value       float64         `json:"value"`
-	Method      string          `json:"method"`
-	Rows        int64           `json:"rows"`
-	Samples     int64           `json:"samples"`
-	DurationMS  float64         `json:"duration_ms"`
-	Truncated   bool            `json:"truncated,omitempty"`
-	CI          *CIResponse     `json:"ci,omitempty"`
-	PilotCached bool            `json:"pilot_cached,omitempty"`
-	PilotSize   int64           `json:"pilot_size,omitempty"`
-	GroupBy     string          `json:"group_by,omitempty"`
-	Groups      []GroupResponse `json:"groups,omitempty"`
-	Filter      *FilterResponse `json:"filter,omitempty"`
+	SQL        string  `json:"sql"`
+	Value      float64 `json:"value"`
+	Method     string  `json:"method"`
+	Rows       int64   `json:"rows"`
+	Samples    int64   `json:"samples"`
+	DurationMS float64 `json:"duration_ms"`
+	Truncated  bool    `json:"truncated,omitempty"`
+	// AchievedPrecision and CoveredBlocks report the latency-budget
+	// accounting of a WITH TIME / budget_ms run: the precision the budget
+	// afforded and how many blocks the answer covers (fewer than the
+	// table's total exactly when Truncated).
+	AchievedPrecision float64         `json:"achieved_precision,omitempty"`
+	CoveredBlocks     int             `json:"covered_blocks,omitempty"`
+	CI                *CIResponse     `json:"ci,omitempty"`
+	PilotCached       bool            `json:"pilot_cached,omitempty"`
+	PilotSize         int64           `json:"pilot_size,omitempty"`
+	GroupBy           string          `json:"group_by,omitempty"`
+	Groups            []GroupResponse `json:"groups,omitempty"`
+	Filter            *FilterResponse `json:"filter,omitempty"`
 }
 
 // GroupResponse is one group's row in a grouped answer. A group that
@@ -216,26 +247,84 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, errors.New("timeout_ms must be positive"))
 			return
 		}
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		// Cap in integer milliseconds BEFORE converting to a Duration:
+		// time.Duration(1<<60) * time.Millisecond overflows int64 to a
+		// negative duration, which used to skip both the MaxTimeout cap
+		// (negative < MaxTimeout) and the deadline (negative ≤ 0) — a
+		// client-controlled escape from the operator's timeout.
+		ms := req.TimeoutMS
+		if s.cfg.MaxTimeout > 0 && ms > s.cfg.MaxTimeout.Milliseconds() {
+			ms = s.cfg.MaxTimeout.Milliseconds()
+		} else if ms > math.MaxInt64/int64(time.Millisecond) {
+			// No cap configured: clamp to the largest representable
+			// duration instead of overflowing.
+			ms = math.MaxInt64 / int64(time.Millisecond)
+		}
+		timeout = time.Duration(ms) * time.Millisecond
 	}
 	if s.cfg.MaxTimeout > 0 && timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
-	if timeout > 0 {
+
+	// Parse after the deadline arithmetic so budget_ms can stand in for a
+	// missing precision clause: a budgeted statement parses through
+	// ParseWithTimeBudget, which injects the budget before the parser's
+	// cross-field validation (a precision-less AVG is otherwise rejected).
+	var q query.Query
+	var err error
+	if req.BudgetMS != 0 {
+		if req.BudgetMS < 0 {
+			writeError(w, http.StatusBadRequest, errors.New("budget_ms must be positive"))
+			return
+		}
+		// The budget composes with the server deadline: it must fit
+		// under the effective timeout (compare in milliseconds — a huge
+		// budget_ms must not overflow either). A budget racing the very
+		// deadline it is meant to beat would turn "best answer in ≤ t"
+		// back into a 504 coin flip.
+		if timeout > 0 && req.BudgetMS > timeout.Milliseconds() {
+			writeError(w, http.StatusBadRequest, fmt.Errorf(
+				"budget_ms %d exceeds the effective timeout %v; raise timeout_ms or lower the budget",
+				req.BudgetMS, timeout))
+			return
+		}
+		q, err = query.ParseWithTimeBudget(req.SQL, float64(req.BudgetMS)/1000)
+	} else {
+		q, err = query.Parse(req.SQL)
+	}
+	if err != nil {
+		s.errored.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// serverDeadline records whether the deadline below belongs to this
+	// server, so an expiry is reported as the timeout that actually
+	// fired — not as a server timeout that was never armed (e.g. when
+	// the operator disabled DefaultTimeout and the request's own context
+	// expired).
+	serverDeadline := timeout > 0
+	if serverDeadline {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
 
-	res, err := s.eng.ExecuteSQLContext(ctx, req.SQL)
+	res, err := s.eng.ExecuteContext(ctx, q)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
 			s.timedOut.Add(1)
-			writeError(w, http.StatusGatewayTimeout, fmt.Errorf("query timed out after %v", timeout))
+			if serverDeadline {
+				writeError(w, http.StatusGatewayTimeout, fmt.Errorf("query timed out after %v", timeout))
+			} else {
+				writeError(w, http.StatusGatewayTimeout, errors.New("query exceeded the request's own deadline (no server timeout configured)"))
+			}
 		case errors.Is(err, context.Canceled):
-			s.errored.Add(1)
-			writeError(w, http.StatusBadRequest, errors.New("request cancelled"))
+			// The client hung up; that is not a server error and must
+			// not pollute the operator's error rate.
+			s.cancelled.Add(1)
+			writeError(w, StatusClientClosedRequest, errors.New("client closed request"))
 		case errors.Is(err, engine.ErrUnknownTable):
 			s.errored.Add(1)
 			writeError(w, http.StatusNotFound, err)
@@ -247,16 +336,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := QueryResponse{
-		SQL:        req.SQL,
-		Value:      res.Value,
-		Method:     res.Method.String(),
-		Rows:       res.Rows,
-		Samples:    res.Samples,
-		DurationMS: float64(res.Duration.Microseconds()) / 1000,
-		Truncated:  res.Truncated,
-		CI:         ciResponse(res.CI),
-		GroupBy:    res.Query.GroupBy,
-		Filter:     filterResponse(res.Filter),
+		SQL:               req.SQL,
+		Value:             res.Value,
+		Method:            res.Method.String(),
+		Rows:              res.Rows,
+		Samples:           res.Samples,
+		DurationMS:        float64(res.Duration.Microseconds()) / 1000,
+		Truncated:         res.Truncated,
+		AchievedPrecision: res.AchievedPrecision,
+		CoveredBlocks:     res.CoveredBlocks,
+		CI:                ciResponse(res.CI),
+		GroupBy:           res.Query.GroupBy,
+		Filter:            filterResponse(res.Filter),
 	}
 	if res.Detail != nil {
 		resp.PilotCached = res.Detail.PilotCached
@@ -346,30 +437,49 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// TableStats is one table's serving counters in GET /stats.
+// TableStats is one table's serving counters in GET /stats. QPS10 and
+// QPS60 are windowed rates over the trailing 10 and 60 seconds — the
+// operator-facing load signal — while Queries is the lifetime count.
 type TableStats struct {
-	Queries int64   `json:"queries"`
-	QPS     float64 `json:"qps"`
+	Queries   int64   `json:"queries"`
+	QPS10     float64 `json:"qps_10s"`
+	QPS60     float64 `json:"qps_60s"`
+	P50MS     float64 `json:"latency_p50_ms"`
+	P99MS     float64 `json:"latency_p99_ms"`
+	Samples   int64   `json:"samples"`
+	Truncated int64   `json:"truncated"`
 }
 
-// CacheStats mirrors the plan cache counters in GET /stats.
+// CacheStats mirrors the plan cache counters in GET /stats. HitRate is
+// hits/(hits+misses), 0 before any lookup.
 type CacheStats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Evictions int64 `json:"evictions"`
-	Entries   int   `json:"entries"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	Entries   int     `json:"entries"`
+	HitRate   float64 `json:"hit_rate"`
 }
 
 // StatsResponse is the GET /stats body.
 type StatsResponse struct {
-	UptimeSeconds float64               `json:"uptime_seconds"`
-	InFlight      int64                 `json:"in_flight"`
-	Served        int64                 `json:"served"`
-	Rejected      int64                 `json:"rejected"`
-	TimedOut      int64                 `json:"timed_out"`
-	Errored       int64                 `json:"errored"`
-	PerTable      map[string]TableStats `json:"per_table"`
-	Cache         *CacheStats           `json:"cache,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	InFlight      int64   `json:"in_flight"`
+	Served        int64   `json:"served"`
+	Rejected      int64   `json:"rejected"`
+	TimedOut      int64   `json:"timed_out"`
+	Cancelled     int64   `json:"cancelled"`
+	Errored       int64   `json:"errored"`
+	// QPS10/QPS60 are completed queries per second over the trailing 10
+	// and 60 seconds, across all tables.
+	QPS10 float64 `json:"qps_10s"`
+	QPS60 float64 `json:"qps_60s"`
+	// SamplesPerQuery is the lifetime mean of samples drawn per
+	// completed query; TruncationRate the fraction of completed queries
+	// whose latency budget truncated the answer.
+	SamplesPerQuery float64               `json:"samples_per_query"`
+	TruncationRate  float64               `json:"truncation_rate"`
+	PerTable        map[string]TableStats `json:"per_table"`
+	Cache           *CacheStats           `json:"cache,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -379,22 +489,35 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	es := s.eng.Stats()
+	reg := s.eng.Metrics()
 	resp := StatsResponse{
 		UptimeSeconds: es.Uptime.Seconds(),
 		InFlight:      es.InFlight,
 		Served:        es.Served,
 		Rejected:      s.rejected.Load(),
 		TimedOut:      s.timedOut.Load(),
+		Cancelled:     s.cancelled.Load(),
 		Errored:       s.errored.Load(),
+		QPS10:         reg.QPS(10 * time.Second),
+		QPS60:         reg.QPS(60 * time.Second),
 		PerTable:      make(map[string]TableStats, len(es.PerTable)),
 	}
-	secs := es.Uptime.Seconds()
-	for name, n := range es.PerTable {
-		ts := TableStats{Queries: n}
-		if secs > 0 {
-			ts.QPS = float64(n) / secs
+	if q, samples, truncated := reg.Totals(); q > 0 {
+		resp.SamplesPerQuery = float64(samples) / float64(q)
+		resp.TruncationRate = float64(truncated) / float64(q)
+	}
+	for _, name := range reg.Tables() {
+		tm := reg.Table(name)
+		queries, samples, truncated := tm.Totals()
+		resp.PerTable[name] = TableStats{
+			Queries:   queries,
+			QPS10:     reg.TableQPS(name, 10*time.Second),
+			QPS60:     reg.TableQPS(name, 60*time.Second),
+			P50MS:     1000 * tm.Quantile(0.5),
+			P99MS:     1000 * tm.Quantile(0.99),
+			Samples:   samples,
+			Truncated: truncated,
 		}
-		resp.PerTable[name] = ts
 	}
 	if es.Cache != nil {
 		resp.Cache = &CacheStats{
@@ -403,6 +526,55 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Evictions: es.Cache.Evictions,
 			Entries:   es.Cache.Entries,
 		}
+		if lookups := es.Cache.Hits + es.Cache.Misses; lookups > 0 {
+			resp.Cache.HitRate = float64(es.Cache.Hits) / float64(lookups)
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics renders the engine's registry plus the server-level
+// counters in the Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	s.eng.Metrics().WritePrometheus(w)
+
+	es := s.eng.Stats()
+	metrics.WriteHeader(w, "isla_http_requests_rejected_total", "Requests rejected by admission control (503).", "counter")
+	metrics.WriteSample(w, "isla_http_requests_rejected_total", nil, float64(s.rejected.Load()))
+	metrics.WriteHeader(w, "isla_http_requests_timeout_total", "Requests that exceeded their deadline (504).", "counter")
+	metrics.WriteSample(w, "isla_http_requests_timeout_total", nil, float64(s.timedOut.Load()))
+	metrics.WriteHeader(w, "isla_http_requests_cancelled_total", "Requests whose client hung up (499).", "counter")
+	metrics.WriteSample(w, "isla_http_requests_cancelled_total", nil, float64(s.cancelled.Load()))
+	metrics.WriteHeader(w, "isla_http_requests_errored_total", "Requests that failed with a query error (4xx).", "counter")
+	metrics.WriteSample(w, "isla_http_requests_errored_total", nil, float64(s.errored.Load()))
+	metrics.WriteHeader(w, "isla_queries_in_flight", "Queries executing right now.", "gauge")
+	metrics.WriteSample(w, "isla_queries_in_flight", nil, float64(es.InFlight))
+	metrics.WriteHeader(w, "isla_queries_served_total", "Queries completed since start.", "counter")
+	metrics.WriteSample(w, "isla_queries_served_total", nil, float64(es.Served))
+	metrics.WriteHeader(w, "isla_uptime_seconds", "Seconds since the server started.", "gauge")
+	metrics.WriteSample(w, "isla_uptime_seconds", nil, time.Since(s.started).Seconds())
+
+	if es.Cache != nil {
+		metrics.WriteHeader(w, "isla_plancache_hits_total", "Plan-cache hits.", "counter")
+		metrics.WriteSample(w, "isla_plancache_hits_total", nil, float64(es.Cache.Hits))
+		metrics.WriteHeader(w, "isla_plancache_misses_total", "Plan-cache misses.", "counter")
+		metrics.WriteSample(w, "isla_plancache_misses_total", nil, float64(es.Cache.Misses))
+		metrics.WriteHeader(w, "isla_plancache_evictions_total", "Plan-cache evictions.", "counter")
+		metrics.WriteSample(w, "isla_plancache_evictions_total", nil, float64(es.Cache.Evictions))
+		metrics.WriteHeader(w, "isla_plancache_entries", "Plan-cache resident entries.", "gauge")
+		metrics.WriteSample(w, "isla_plancache_entries", nil, float64(es.Cache.Entries))
+		metrics.WriteHeader(w, "isla_plancache_hit_rate", "Plan-cache hits/(hits+misses).", "gauge")
+		rate := 0.0
+		if lookups := es.Cache.Hits + es.Cache.Misses; lookups > 0 {
+			rate = float64(es.Cache.Hits) / float64(lookups)
+		}
+		metrics.WriteSample(w, "isla_plancache_hit_rate", nil, rate)
+	}
 }

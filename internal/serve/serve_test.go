@@ -283,8 +283,17 @@ func TestStatsCountersMove(t *testing.T) {
 		t.Fatalf("served %d → %d, want +3", before.Served, after.Served)
 	}
 	tbl, ok := after.PerTable["sales"]
-	if !ok || tbl.Queries != 3 || tbl.QPS <= 0 {
+	if !ok || tbl.Queries != 3 || tbl.QPS10 <= 0 || tbl.QPS60 <= 0 {
 		t.Fatalf("per-table stats: %+v", after.PerTable)
+	}
+	if tbl.P50MS <= 0 || tbl.P99MS < tbl.P50MS {
+		t.Fatalf("per-table latency quantiles: %+v", tbl)
+	}
+	if after.QPS10 <= 0 || after.SamplesPerQuery <= 0 {
+		t.Fatalf("global windowed stats: %+v", after)
+	}
+	if after.Cache == nil || after.Cache.HitRate <= 0.5 {
+		t.Fatalf("cache hit rate: %+v", after.Cache)
 	}
 	if after.Cache == nil || after.Cache.Misses != 1 || after.Cache.Hits != 2 {
 		t.Fatalf("cache stats: %+v", after.Cache)
