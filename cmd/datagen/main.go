@@ -30,7 +30,7 @@ func main() {
 		blocks = flag.Int("blocks", 10, "number of block files")
 		seed   = flag.Uint64("seed", 1, "random seed")
 		out    = flag.String("out", "", "output prefix (required)")
-		format = flag.String("format", "v2", "ISLB format: v2 (summary footers, default) or v1 (legacy, for compat fixtures)")
+		format = flag.String("format", "v3", "ISLB format: v3 (summary footers + payload checksums, default), v2 (summary footers) or v1 (legacy, for compat fixtures)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -76,25 +76,29 @@ func main() {
 		os.Exit(1)
 	}
 	switch *format {
-	case "v2":
+	case "v3":
 		fileStore, err := block.WritePartitioned(*out, data, *blocks)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
 			os.Exit(1)
 		}
 		fileStore.Close() // datagen only writes; release the mappings immediately
-	case "v1":
+	case "v2", "v1":
+		write := block.WriteFileV2
+		if *format == "v1" {
+			write = block.WriteFileV1
+		}
 		for i := 0; i < *blocks; i++ {
 			lo := i * len(data) / *blocks
 			hi := (i + 1) * len(data) / *blocks
 			path := fmt.Sprintf("%s.%03d", *out, i)
-			if err := block.WriteFileV1(path, data[lo:hi]); err != nil {
+			if err := write(path, data[lo:hi]); err != nil {
 				fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
 				os.Exit(1)
 			}
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "datagen: unknown format %q (want v1 or v2)\n", *format)
+		fmt.Fprintf(os.Stderr, "datagen: unknown format %q (want v1, v2 or v3)\n", *format)
 		os.Exit(2)
 	}
 	var m stats.Moments

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,11 +38,13 @@ func main() {
 	callTimeout := flag.Duration("call-timeout", 0, "per-RPC deadline for -cluster calls (0 = default, negative disables)")
 	rpcRetries := flag.Int("rpc-retries", 0, "retries per -cluster call on transient failure before failing over (0 = default, negative disables)")
 	rpcBackoff := flag.Duration("rpc-backoff", 0, "base retry backoff for -cluster calls, doubled per attempt with jitter (0 = default, negative disables)")
-	allowPartial := flag.Bool("allow-partial", false, "with -cluster, answer over the reachable blocks when some have no live replica, instead of failing")
+	allowPartial := flag.Bool("allow-partial", false, "answer over the intact data instead of failing: with -cluster when some blocks have no live replica, locally when -scrub quarantined corrupt blocks")
 	q := flag.String("q", "", "execute one query and exit")
 	workers := flag.Int("workers", 0, "exec-runtime concurrency: 0 sequential, -1 one worker per CPU, n as-is; with -cluster, n caps in-flight RPCs (0/-1 = one per block). Answers are identical for any setting")
 	openMode := flag.String("open", "auto", "block-file access for -load: mmap (zero-copy mapping), pread (positioned reads) or auto (mmap where supported)")
 	summaryPilot := flag.Bool("summary-pilot", false, "serve pre-estimation from persisted ISLB v2 summaries when every block has one: exact σ/sketch0, zero pilot samples")
+	verify := flag.Bool("verify", false, "verify every table's payload checksums against the on-disk bytes, print a report and exit; non-zero status when corruption is found")
+	scrub := flag.Bool("scrub", false, "verify payload checksums at startup and quarantine whatever fails before answering queries (combine with -allow-partial to degrade instead of refuse)")
 	flag.Parse()
 
 	mode, err := isla.ParseOpenMode(*openMode)
@@ -109,6 +112,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "islacli: no tables; use -gen or -load")
 		os.Exit(2)
 	}
+	db.SetAllowPartial(*allowPartial)
+	if *verify || *scrub {
+		corrupt, err := runScrub(db, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		if *verify {
+			if corrupt > 0 {
+				os.Exit(1)
+			}
+			return
+		}
+	}
 	fmt.Printf("tables: %s\n", strings.Join(db.Tables(), ", "))
 
 	if *q != "" {
@@ -136,6 +152,22 @@ func main() {
 	}
 }
 
+// runScrub verifies every table's payload checksums, quarantines the
+// failures, prints one summary line per table and returns how many corrupt
+// blocks were found across all tables.
+func runScrub(db *isla.DB, workers int) (int, error) {
+	reports, err := db.Scrub(context.Background(), workers)
+	if err != nil {
+		return 0, err
+	}
+	corrupt := 0
+	for _, tr := range reports {
+		fmt.Printf("scrub %s: %s\n", tr.Table, tr.Report.String())
+		corrupt += len(tr.Report.Corrupt)
+	}
+	return corrupt, nil
+}
+
 func run(db *isla.DB, sql string) error {
 	res, err := db.Query(sql)
 	if err != nil {
@@ -160,6 +192,9 @@ func run(db *isla.DB, sql string) error {
 			if gr.Filter != nil {
 				fmt.Printf("  sel=%.3f", gr.Filter.Selectivity)
 			}
+			if p := gr.Partial; p != nil {
+				fmt.Printf("  PARTIAL(%d/%d rows)", p.CoveredRows, p.TotalRows)
+			}
 			fmt.Printf("  [rows=%d samples=%d]\n", gr.Rows, gr.Samples)
 		}
 		return nil
@@ -176,6 +211,10 @@ func run(db *isla.DB, sql string) error {
 	}
 	fmt.Printf("  [method=%s rows=%d samples=%d time=%s]\n",
 		res.Method, res.Rows, res.Samples, res.Duration.Round(10_000))
+	if p := res.Partial; p != nil {
+		fmt.Printf("PARTIAL: blocks %v quarantined; answer covers %d of %d rows\n",
+			p.MissingBlocks, p.CoveredRows, p.TotalRows)
+	}
 	return nil
 }
 

@@ -64,6 +64,8 @@ func main() {
 		maxTime  = flag.Duration("max-timeout", 5*time.Minute, "upper bound on any per-query timeout")
 		inflight = flag.Int("inflight", 64, "admission control: max concurrently executing queries; excess requests get 503 (-1 disables)")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace period for draining in-flight requests")
+		scrubOn  = flag.Bool("scrub-on-load", false, "verify every table's payload checksums before serving; corrupt blocks are quarantined and the server starts degraded")
+		partial  = flag.Bool("allow-partial", false, "answer over the intact blocks when corruption was quarantined, reporting coverage in the response, instead of refusing with 503")
 	)
 	flag.Parse()
 
@@ -97,6 +99,16 @@ func main() {
 	}
 	if *cache > 0 {
 		eng.EnablePlanCache(*cache)
+	}
+	eng.SetAllowPartial(*partial)
+	if *scrubOn {
+		reports, err := eng.Scrub(context.Background(), *workers)
+		if err != nil {
+			fatal(err)
+		}
+		for _, tr := range reports {
+			log.Printf("islaserv: scrub %s: %s", tr.Table, tr.Report.String())
+		}
 	}
 
 	srv, err := serve.New(serve.Config{

@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
+	"sync"
 
 	"isla/internal/stats"
 )
@@ -84,9 +86,21 @@ func (b *MemBlock) Sample(r *stats.RNG, m int64, fn func(v float64)) error {
 
 // Store is an ordered collection of blocks forming one logical column, with
 // cached total size. It mirrors the paper's B = {B1..Bb}.
+//
+// A store tracks a quarantine set: blocks whose backing bytes failed an
+// integrity check (payload checksum mismatch, torn write). Quarantined
+// blocks are excluded from sampling quotas and refused by Scan, so queries
+// either degrade to the intact fraction (when the caller opts in) or fail
+// loudly — corrupt values are never silently folded into an estimate. The
+// footers of quarantined blocks remain trusted: they carry their own CRC
+// and record seal-time statistics, so Summary and SummaryChecksum are
+// unaffected by quarantine.
 type Store struct {
 	blocks []Block
 	total  int64
+
+	mu          sync.RWMutex
+	quarantined map[int]bool // by block ID
 }
 
 // NewStore builds a store over the given blocks.
@@ -110,9 +124,100 @@ func (s *Store) TotalLen() int64 { return s.total }
 // Block returns the i-th block.
 func (s *Store) Block(i int) Block { return s.blocks[i] }
 
-// Scan runs fn over every value of every block in order.
-func (s *Store) Scan(fn func(v float64) error) error {
+// Quarantine marks the given block IDs as corrupt: they stop receiving
+// sampling quota and Scan refuses them. Idempotent; unknown IDs are
+// recorded harmlessly (they match no block).
+func (s *Store) Quarantine(ids ...int) {
+	if len(ids) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.quarantined == nil {
+		s.quarantined = make(map[int]bool)
+	}
+	for _, id := range ids {
+		s.quarantined[id] = true
+	}
+}
+
+// ClearQuarantine empties the quarantine set — called after corrupt blocks
+// have been repaired or replaced (followed by a re-scrub to prove it).
+func (s *Store) ClearQuarantine() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quarantined = nil
+}
+
+// Quarantined reports whether the block with the given ID is quarantined.
+func (s *Store) Quarantined(id int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.quarantined[id]
+}
+
+// QuarantinedIDs returns the quarantined block IDs in ascending order,
+// nil when the store is healthy.
+func (s *Store) QuarantinedIDs() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.quarantined) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(s.quarantined))
+	for id := range s.quarantined {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// QuarantinedRows returns the number of values held by quarantined blocks
+// — the rows a degraded query cannot cover.
+func (s *Store) QuarantinedRows() int64 {
+	quar := s.quarantineSet()
+	if quar == nil {
+		return 0
+	}
+	var rows int64
 	for _, b := range s.blocks {
+		if quar[b.ID()] {
+			rows += b.Len()
+		}
+	}
+	return rows
+}
+
+// CoveredLen returns the number of values in intact (non-quarantined)
+// blocks: the denominator of every degraded estimate. Equal to TotalLen on
+// a healthy store.
+func (s *Store) CoveredLen() int64 { return s.total - s.QuarantinedRows() }
+
+// quarantineSet snapshots the quarantine set, nil when empty, so hot paths
+// take the lock once instead of per block.
+func (s *Store) quarantineSet() map[int]bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.quarantined) == 0 {
+		return nil
+	}
+	set := make(map[int]bool, len(s.quarantined))
+	for id := range s.quarantined {
+		set[id] = true
+	}
+	return set
+}
+
+// Scan runs fn over every value of every block in order. A quarantined
+// block fails the scan with a CorruptBlockError: exact answers cannot
+// degrade, so a full scan over a damaged store must refuse rather than
+// return a silently wrong total.
+func (s *Store) Scan(fn func(v float64) error) error {
+	quar := s.quarantineSet()
+	for _, b := range s.blocks {
+		if quar[b.ID()] {
+			return &CorruptBlockError{Path: BlockPath(b), Reason: "quarantined"}
+		}
 		if err := b.Scan(fn); err != nil {
 			return err
 		}
@@ -220,28 +325,44 @@ func (s *Store) PilotSample(r *stats.RNG, m int64, fn func(v float64)) error {
 // block size (the paper's Pre-estimation sampling discipline): quota_i =
 // ⌊m·|B_i|/M⌋ with the rounding slack absorbed by the last non-empty
 // block, so stores with trailing empty blocks still fill the full quota.
-// Empty blocks get zero. It returns nil when the store is empty or m <= 0.
+// Empty and quarantined blocks get zero; on a damaged store the
+// denominator is the covered row count, so the full budget lands
+// proportionally on the intact fraction. It returns nil when the store is
+// empty, m <= 0, or every non-empty block is quarantined.
 func (s *Store) Quotas(m int64) []int64 {
 	if s.total == 0 || m <= 0 {
 		return nil
 	}
+	quar := s.quarantineSet()
+	covered := s.total
+	if quar != nil {
+		covered = 0
+		for _, b := range s.blocks {
+			if !quar[b.ID()] {
+				covered += b.Len()
+			}
+		}
+		if covered == 0 {
+			return nil
+		}
+	}
 	last := -1
 	for i, b := range s.blocks {
-		if b.Len() > 0 {
+		if b.Len() > 0 && !quar[b.ID()] {
 			last = i
 		}
 	}
 	quotas := make([]int64, len(s.blocks))
 	remaining := m
 	for i, b := range s.blocks {
-		if b.Len() == 0 {
+		if b.Len() == 0 || quar[b.ID()] {
 			continue
 		}
 		var quota int64
 		if i == last {
 			quota = remaining
 		} else {
-			quota = m * b.Len() / s.total
+			quota = m * b.Len() / covered
 			if quota > remaining {
 				quota = remaining
 			}
@@ -263,7 +384,12 @@ func (s *Store) PilotSampleChunks(r *stats.RNG, m int64, fn func(vs []float64) e
 	if m <= 0 {
 		return fmt.Errorf("block: pilot sample size %d must be positive", m)
 	}
-	for i, quota := range s.Quotas(m) {
+	quotas := s.Quotas(m)
+	if quotas == nil {
+		// total > 0 and m > 0, so nil means every block is quarantined.
+		return &CorruptBlockError{Path: "store", Reason: "all blocks quarantined"}
+	}
+	for i, quota := range quotas {
 		if quota == 0 {
 			continue
 		}

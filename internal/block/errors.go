@@ -1,0 +1,31 @@
+package block
+
+import "fmt"
+
+// CorruptBlockError reports that an ISLB block file failed an integrity
+// check: truncated or carrying trailing garbage (a torn, non-atomic
+// write), a footer or payload checksum mismatch, header/footer metadata
+// disagreement, or an attempt to read a block already quarantined. Callers
+// match it with errors.As and quarantine the block — the failure is a
+// property of the bytes on disk, not a transient I/O condition.
+type CorruptBlockError struct {
+	// Path is the offending file ("" for non-file blocks).
+	Path string
+	// Reason is the human-readable diagnosis ("truncated: …", "payload
+	// checksum mismatch: …", "quarantined", …).
+	Reason string
+	// Err is the underlying error, when one exists.
+	Err error
+}
+
+// Error implements error.
+func (e *CorruptBlockError) Error() string {
+	msg := fmt.Sprintf("block: %s corrupt: %s", e.Path, e.Reason)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *CorruptBlockError) Unwrap() error { return e.Err }

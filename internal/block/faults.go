@@ -1,0 +1,115 @@
+package block
+
+import (
+	"fmt"
+	"os"
+
+	"isla/internal/stats"
+)
+
+// Faults injects deterministic, seeded corruption into ISLB block files —
+// the storage-tier counterpart of the cluster chaos harness. Every
+// primitive derives its target offset and bit from the harness RNG, so a
+// battery run is reproducible from its seed alone. Test-only by intent;
+// nothing in the serving path imports it.
+type Faults struct {
+	r *stats.RNG
+}
+
+// NewFaults returns a fault injector drawing all randomness from seed.
+func NewFaults(seed uint64) *Faults {
+	return &Faults{r: stats.NewRNG(seed)}
+}
+
+// layout reads path's header and returns its format version and value
+// count, without validating the rest of the file — faults must be
+// injectable into files that are already damaged.
+func layout(path string) (version uint32, n int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	var hdr [headerSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return 0, 0, fmt.Errorf("block: faults: read header of %s: %w", path, err)
+	}
+	return parseHeader(hdr[:])
+}
+
+// flipBit flips one RNG-chosen bit of the byte at the RNG-chosen offset in
+// [lo, hi) and returns the offset touched.
+func (f *Faults) flipBit(path string, lo, hi int64) (int64, error) {
+	if hi <= lo {
+		return 0, fmt.Errorf("block: faults: empty target region [%d, %d) in %s", lo, hi, path)
+	}
+	off := lo + f.r.Int63n(hi-lo)
+	bit := byte(1) << f.r.Intn(8)
+	fl, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer fl.Close()
+	var b [1]byte
+	if _, err := fl.ReadAt(b[:], off); err != nil {
+		return 0, err
+	}
+	b[0] ^= bit
+	if _, err := fl.WriteAt(b[:], off); err != nil {
+		return 0, err
+	}
+	return off, nil
+}
+
+// FlipPayloadByte flips one random bit inside the value region of the ISLB
+// file at path — the corruption a v3 payload checksum exists to catch. It
+// returns the byte offset flipped and fails on an empty payload.
+func (f *Faults) FlipPayloadByte(path string) (int64, error) {
+	_, n, err := layout(path)
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("block: faults: %s has no payload to corrupt", path)
+	}
+	return f.flipBit(path, headerSize, headerSize+8*n)
+}
+
+// CorruptFooter flips one random bit inside the footer region (v2/v3) —
+// damage the footer's own CRC catches at open time. It returns the byte
+// offset flipped and fails for v1 files, which have no footer.
+func (f *Faults) CorruptFooter(path string) (int64, error) {
+	version, n, err := layout(path)
+	if err != nil {
+		return 0, err
+	}
+	lo := headerSize + 8*n
+	hi := fileSize(version, n)
+	if hi <= lo {
+		return 0, fmt.Errorf("block: faults: %s (v%d) has no footer to corrupt", path, version)
+	}
+	return f.flipBit(path, lo, hi)
+}
+
+// TruncateTail removes between 1 and max bytes (RNG-chosen) from the end
+// of the file — the torn tail a crashed non-atomic writer leaves behind.
+// max is clamped so at least the header survives. It returns the number of
+// bytes removed.
+func (f *Faults) TruncateTail(path string, max int64) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	size := fi.Size()
+	if size <= headerSize {
+		return 0, fmt.Errorf("block: faults: %s too small to truncate (%d bytes)", path, size)
+	}
+	if max <= 0 || max > size-headerSize {
+		max = size - headerSize
+	}
+	cut := 1 + f.r.Int63n(max)
+	if err := os.Truncate(path, size-cut); err != nil {
+		return 0, err
+	}
+	return cut, nil
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -26,27 +27,47 @@ type FileBlock struct {
 	version uint32
 	summary Summary
 	summOK  bool
+	crc     uint32 // expected payload CRC (v3)
+	crcOK   bool   // the file carries a payload CRC
 
 	f         *os.File
 	closeOnce sync.Once
 }
 
-// openFileCommon opens an ISLB file, validates the header, size and (for
-// v2) the footer, and returns the parsed metadata with the open handle.
-func openFileCommon(path string) (f *os.File, version uint32, n int64, sum Summary, hasSum bool, err error) {
-	f, err = os.Open(path)
+// fileMeta is the validated metadata openFileCommon extracts from an ISLB
+// file's header and footer.
+type fileMeta struct {
+	version    uint32
+	n          int64
+	summary    Summary
+	hasSummary bool
+	payloadCRC uint32 // expected payload checksum (v3 files)
+	hasCRC     bool
+}
+
+// openFileCommon opens an ISLB file, validates the header, the size
+// against the header's count (before any footer parse, so torn files get
+// the distinct truncated/trailing-data diagnosis) and the footer checksum
+// (v2/v3), and returns the parsed metadata with the open handle. Integrity
+// failures surface as *CorruptBlockError; a wrong file type (bad header
+// magic, unknown version) stays a plain error.
+func openFileCommon(path string) (*os.File, fileMeta, error) {
+	f, err := os.Open(path)
 	if err != nil {
-		return nil, 0, 0, Summary{}, false, err
+		return nil, fileMeta{}, err
 	}
-	fail := func(e error) (*os.File, uint32, int64, Summary, bool, error) {
+	fail := func(e error) (*os.File, fileMeta, error) {
 		f.Close()
-		return nil, 0, 0, Summary{}, false, e
+		return nil, fileMeta{}, e
+	}
+	corrupt := func(reason string, err error) (*os.File, fileMeta, error) {
+		return fail(&CorruptBlockError{Path: path, Reason: reason, Err: err})
 	}
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
-		return fail(fmt.Errorf("block: reading header of %s: %w", path, err))
+		return corrupt("truncated header", err)
 	}
-	version, n, err = parseHeader(hdr[:])
+	version, n, err := parseHeader(hdr[:])
 	if err != nil {
 		return fail(fmt.Errorf("block: %s: %w", path, err))
 	}
@@ -54,39 +75,85 @@ func openFileCommon(path string) (f *os.File, version uint32, n int64, sum Summa
 	if err != nil {
 		return fail(err)
 	}
-	if want := fileSize(version, n); st.Size() != want {
-		return fail(fmt.Errorf("block: %s truncated: size %d, want %d", path, st.Size(), want))
+	var meta fileMeta
+	meta.version, meta.n = version, n
+	switch want := fileSize(version, n); {
+	case st.Size() < want:
+		return corrupt(fmt.Sprintf("truncated: size %d, want %d for %d values", st.Size(), want, n), nil)
+	case st.Size() > want:
+		return corrupt(fmt.Sprintf("trailing data: size %d, want %d for %d values", st.Size(), want, n), nil)
 	}
-	if version == FormatV2 {
-		var ft [footerSize]byte
-		if _, err := f.ReadAt(ft[:], headerSize+8*n); err != nil {
-			return fail(fmt.Errorf("block: reading footer of %s: %w", path, err))
+	if version == FormatV2 || version == FormatV3 {
+		ftSize := int64(footerSize)
+		if version == FormatV3 {
+			ftSize = footerSizeV3
 		}
-		sum, err = parseFooter(ft[:])
+		ft := make([]byte, ftSize)
+		if _, err := f.ReadAt(ft, headerSize+8*n); err != nil {
+			return corrupt("unreadable footer", err)
+		}
+		if version == FormatV3 {
+			meta.summary, meta.payloadCRC, err = parseFooterV3(ft)
+			meta.hasCRC = err == nil
+		} else {
+			meta.summary, err = parseFooter(ft)
+		}
 		if err != nil {
-			return fail(fmt.Errorf("block: %s: %w", path, err))
+			return corrupt(err.Error(), nil)
 		}
-		if sum.Count != n {
-			return fail(fmt.Errorf("block: %s: footer count %d disagrees with header %d", path, sum.Count, n))
+		if meta.summary.Count != n {
+			return corrupt(fmt.Sprintf("footer count %d disagrees with header %d", meta.summary.Count, n), nil)
 		}
-		hasSum = true
+		meta.hasSummary = true
 	}
-	return f, version, n, sum, hasSum, nil
+	return f, meta, nil
+}
+
+// verifyPayloadAt streams the payload region of an open handle through the
+// CRC and compares against the footer's expectation.
+func verifyPayloadAt(f *os.File, path string, n int64, want uint32) error {
+	r := io.NewSectionReader(f, headerSize, 8*n)
+	buf := make([]byte, 1<<20)
+	var crc uint32
+	for {
+		k, err := r.Read(buf)
+		crc = crc32.Update(crc, castagnoli, buf[:k])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("block: verifying %s: %w", path, err)
+		}
+	}
+	if crc != want {
+		return &CorruptBlockError{Path: path,
+			Reason: fmt.Sprintf("payload checksum mismatch: %#08x, want %#08x", crc, want)}
+	}
+	return nil
 }
 
 // OpenFile opens a block file previously written by WriteFile on the pread
-// path, validating the header, the size and (for v2 files) the summary
-// footer's CRC. The handle stays open for the block's lifetime — one file
-// descriptor per block, so a store's block count is bounded by the process
-// fd limit (block counts here are normally tens, not thousands; the paper
-// uses b≈10).
+// path, validating the header, the size, the footer's CRC (v2/v3) and —
+// for v3 files — the payload checksum with one sequential pass, so a
+// corrupt payload is rejected at open rather than silently sampled. The
+// handle stays open for the block's lifetime — one file descriptor per
+// block, so a store's block count is bounded by the process fd limit
+// (block counts here are normally tens, not thousands; the paper uses
+// b≈10).
 func OpenFile(id int, path string) (*FileBlock, error) {
-	f, version, n, sum, hasSum, err := openFileCommon(path)
+	f, meta, err := openFileCommon(path)
 	if err != nil {
 		return nil, err
 	}
-	return &FileBlock{id: id, path: path, n: n, version: version,
-		summary: sum, summOK: hasSum, f: f}, nil
+	if meta.hasCRC {
+		if err := verifyPayloadAt(f, path, meta.n, meta.payloadCRC); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &FileBlock{id: id, path: path, n: meta.n, version: meta.version,
+		summary: meta.summary, summOK: meta.hasSummary,
+		crc: meta.payloadCRC, crcOK: meta.hasCRC, f: f}, nil
 }
 
 // Close releases the block's file handle. Further Scan/Sample calls fail.
@@ -110,9 +177,20 @@ func (b *FileBlock) Path() string { return b.path }
 // Version returns the ISLB format version of the backing file.
 func (b *FileBlock) Version() uint32 { return b.version }
 
-// Summary implements Summarized: the exact statistics persisted in the v2
-// footer. ok is false for v1 files, which carry none.
+// Summary implements Summarized: the exact statistics persisted in the
+// v2/v3 footer. ok is false for v1 files, which carry none.
 func (b *FileBlock) Summary() (Summary, bool) { return b.summary, b.summOK }
+
+// VerifyPayload implements Verifier by re-streaming the payload region
+// from disk and checking it against the footer's payload CRC — so a scrub
+// detects corruption that happened after the block was opened. checked is
+// false for v1/v2 files, which persist no payload checksum.
+func (b *FileBlock) VerifyPayload() (bool, error) {
+	if !b.crcOK {
+		return false, nil
+	}
+	return true, verifyPayloadAt(b.f, b.path, b.n, b.crc)
+}
 
 // Scan implements Block by streaming the value section through a buffered
 // reader layered over the shared handle (positioned reads, so concurrent

@@ -1,18 +1,19 @@
 package block
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
-	"os"
+
+	"isla/internal/fsio"
 )
 
 // The ISLB on-disk format. Every block file starts with a 16-byte header:
 //
 //	bytes 0..3   magic "ISLB"
-//	bytes 4..7   format version, big-endian uint32 (1 or 2)
+//	bytes 4..7   format version, big-endian uint32 (1, 2 or 3)
 //	bytes 8..15  value count n, little-endian uint64
 //
 // followed by n little-endian float64 values. Version 2 files additionally
@@ -27,16 +28,28 @@ import (
 //	bytes 36..43 sum of squares Σa², float64
 //	bytes 44..47 CRC-32C (Castagnoli) over footer bytes 0..43
 //
-// Version 1 files (header + values, no footer) remain readable forever.
+// Version 3 extends the footer to 52 bytes with a checksum over the data
+// payload itself, so a flipped bit anywhere in the value region is
+// detectable — not just footer damage:
+//
+//	bytes 0..43  as in v2
+//	bytes 44..47 CRC-32C (Castagnoli) over the 8·n payload bytes
+//	bytes 48..51 CRC-32C (Castagnoli) over footer bytes 0..47
+//
+// Version 1 (header + values, no footer) and version 2 files remain
+// readable forever; golden fixtures pin all three layouts.
 const (
-	headerSize = 16
-	footerSize = 48
+	headerSize   = 16
+	footerSize   = 48
+	footerSizeV3 = 52
 
 	// FormatV1 is the original header+values layout.
 	FormatV1 uint32 = 1
-	// FormatV2 appends the per-block summary footer; the default since the
-	// footer landed.
+	// FormatV2 appends the per-block summary footer.
 	FormatV2 uint32 = 2
+	// FormatV3 adds the payload CRC to the footer; the default since the
+	// storage-integrity work landed.
+	FormatV3 uint32 = 3
 )
 
 var (
@@ -234,7 +247,7 @@ func parseHeader(hdr []byte) (version uint32, n int64, err error) {
 		return 0, 0, fmt.Errorf("bad magic %q", hdr[:4])
 	}
 	version = binary.BigEndian.Uint32(hdr[4:8])
-	if version != FormatV1 && version != FormatV2 {
+	if version != FormatV1 && version != FormatV2 && version != FormatV3 {
 		return 0, 0, fmt.Errorf("unsupported format version %d", version)
 	}
 	count := binary.LittleEndian.Uint64(hdr[8:16])
@@ -270,6 +283,44 @@ func parseFooter(ft []byte) (Summary, error) {
 	if got := crc32.Checksum(ft[:44], castagnoli); got != want {
 		return Summary{}, fmt.Errorf("footer checksum mismatch: %#08x, want %#08x", got, want)
 	}
+	return decodeFooterStats(ft)
+}
+
+// encodeFooterV3 builds the 52-byte v3 footer: the v2 statistics plus the
+// payload CRC, self-checksummed over bytes 0..47.
+func encodeFooterV3(s Summary, payloadCRC uint32) [footerSizeV3]byte {
+	var ft [footerSizeV3]byte
+	v2 := encodeFooter(s)
+	copy(ft[:44], v2[:44])
+	binary.LittleEndian.PutUint32(ft[44:48], payloadCRC)
+	binary.LittleEndian.PutUint32(ft[48:52], crc32.Checksum(ft[:48], castagnoli))
+	return ft
+}
+
+// parseFooterV3 validates a v3 footer (magic + footer CRC) and returns the
+// summary together with the expected payload CRC. It never reads beyond
+// the 52 bytes given.
+func parseFooterV3(ft []byte) (Summary, uint32, error) {
+	if len(ft) < footerSizeV3 {
+		return Summary{}, 0, fmt.Errorf("footer truncated: %d bytes, want %d", len(ft), footerSizeV3)
+	}
+	if [4]byte(ft[:4]) != footerMagic {
+		return Summary{}, 0, fmt.Errorf("bad footer magic %q", ft[:4])
+	}
+	want := binary.LittleEndian.Uint32(ft[48:52])
+	if got := crc32.Checksum(ft[:48], castagnoli); got != want {
+		return Summary{}, 0, fmt.Errorf("footer checksum mismatch: %#08x, want %#08x", got, want)
+	}
+	sum, err := decodeFooterStats(ft)
+	if err != nil {
+		return Summary{}, 0, err
+	}
+	return sum, binary.LittleEndian.Uint32(ft[44:48]), nil
+}
+
+// decodeFooterStats extracts the statistics common to the v2 and v3 footer
+// layouts (bytes 4..43), after the caller verified magic and checksum.
+func decodeFooterStats(ft []byte) (Summary, error) {
 	count := binary.LittleEndian.Uint64(ft[4:12])
 	if count > math.MaxInt64/8 {
 		return Summary{}, fmt.Errorf("implausible footer count %d", count)
@@ -283,10 +334,24 @@ func parseFooter(ft []byte) (Summary, error) {
 	}, nil
 }
 
-// WriteFile writes data to path in the current ISLB format (v2): header,
-// values, summary footer.
+// PayloadChecksum computes the CRC-32C a v3 footer carries for the given
+// values: the checksum of their little-endian encoding in storage order.
+func PayloadChecksum(data []float64) uint32 {
+	var crc uint32
+	var buf [8]byte
+	for _, v := range data {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		crc = crc32.Update(crc, castagnoli, buf[:])
+	}
+	return crc
+}
+
+// WriteFile writes data to path in the current ISLB format (v3): header,
+// values, summary footer with payload checksum. The write is atomic and
+// durable (temp file → fsync → rename → directory fsync via fsio), so a
+// crash mid-write never publishes a torn block.
 func WriteFile(path string, data []float64) error {
-	return writeFileVersion(path, data, FormatV2)
+	return writeFileVersion(path, data, FormatV3)
 }
 
 // WriteFileV1 writes the legacy footer-less v1 layout — kept for
@@ -295,47 +360,58 @@ func WriteFileV1(path string, data []float64) error {
 	return writeFileVersion(path, data, FormatV1)
 }
 
+// WriteFileV2 writes the v2 layout (summary footer, no payload checksum) —
+// kept for compatibility fixtures and older readers.
+func WriteFileV2(path string, data []float64) error {
+	return writeFileVersion(path, data, FormatV2)
+}
+
 func writeFileVersion(path string, data []float64, version uint32) error {
-	if version != FormatV1 && version != FormatV2 {
+	if version != FormatV1 && version != FormatV2 && version != FormatV3 {
 		return fmt.Errorf("block: unsupported format version %d", version)
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	w := bufio.NewWriterSize(f, 1<<20)
-	hdr := encodeHeader(version, int64(len(data)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		f.Close()
-		return err
-	}
-	var buf [8]byte
-	for _, v := range data {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		if _, err := w.Write(buf[:]); err != nil {
-			f.Close()
+	return fsio.WriteFileAtomic(path, 0o644, func(w io.Writer) error {
+		hdr := encodeHeader(version, int64(len(data)))
+		if _, err := w.Write(hdr[:]); err != nil {
 			return err
 		}
-	}
-	if version == FormatV2 {
-		ft := encodeFooter(ComputeSummary(data))
-		if _, err := w.Write(ft[:]); err != nil {
-			f.Close()
-			return err
+		// The payload CRC folds incrementally over the exact bytes written,
+		// value by value — one pass, no payload-sized buffer.
+		var payloadCRC uint32
+		var buf [8]byte
+		for _, v := range data {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			if _, err := w.Write(buf[:]); err != nil {
+				return err
+			}
+			if version == FormatV3 {
+				payloadCRC = crc32.Update(payloadCRC, castagnoli, buf[:])
+			}
 		}
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+		switch version {
+		case FormatV2:
+			ft := encodeFooter(ComputeSummary(data))
+			if _, err := w.Write(ft[:]); err != nil {
+				return err
+			}
+		case FormatV3:
+			ft := encodeFooterV3(ComputeSummary(data), payloadCRC)
+			if _, err := w.Write(ft[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // fileSize returns the expected size of an ISLB file with n values.
 func fileSize(version uint32, n int64) int64 {
 	size := int64(headerSize) + 8*n
-	if version == FormatV2 {
+	switch version {
+	case FormatV2:
 		size += footerSize
+	case FormatV3:
+		size += footerSizeV3
 	}
 	return size
 }

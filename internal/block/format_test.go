@@ -8,13 +8,19 @@ import (
 	"testing"
 )
 
-// fixtureValues are the values baked into testdata/v{1,2}-golden.islb. The
-// committed binaries pin the on-disk format: if an encoder change breaks
-// compatibility with files written by earlier releases, these tests fail.
+// fixtureValues are the values baked into testdata/v{1,2,3}-golden.islb.
+// The committed binaries pin the on-disk format: if an encoder change
+// breaks compatibility with files written by earlier releases, these tests
+// fail.
 var fixtureValues = []float64{1.5, -2.25, 0, 3.75, 1e6, -17, 42, 0.125}
 
-// fixtureChecksum is the persisted footer CRC of the v2 fixture.
+// fixtureChecksum is the persisted footer CRC of the v2 fixture — also the
+// summary fingerprint of the v3 fixture (Summary.Checksum deliberately
+// stays the v2 encoding).
 const fixtureChecksum = 0xcd908035
+
+// fixturePayloadChecksum is the payload CRC persisted in the v3 fixture.
+const fixturePayloadChecksum = 0x51a07225
 
 func scanAll(t *testing.T, b Block) []float64 {
 	t.Helper()
@@ -37,7 +43,8 @@ func sameValues(t *testing.T, got, want []float64) {
 	}
 }
 
-// Every open mode must read both committed fixture generations.
+// Every open mode must read every committed fixture generation — v1 and v2
+// files stay readable forever.
 func TestFormatFixtures(t *testing.T) {
 	modes := []OpenMode{ModePread}
 	if MmapSupported() {
@@ -50,6 +57,7 @@ func TestFormatFixtures(t *testing.T) {
 		}{
 			{"testdata/v1-golden.islb", FormatV1},
 			{"testdata/v2-golden.islb", FormatV2},
+			{"testdata/v3-golden.islb", FormatV3},
 		} {
 			b, err := Open(0, fix.path, mode)
 			if err != nil {
@@ -63,7 +71,7 @@ func TestFormatFixtures(t *testing.T) {
 				}
 			} else {
 				if !ok {
-					t.Fatalf("%s: v2 block reports no summary", fix.path)
+					t.Fatalf("%s: v%d block reports no summary", fix.path, fix.version)
 				}
 				if sum != ComputeSummary(fixtureValues) {
 					t.Fatalf("%s: summary %+v, want %+v", fix.path, sum, ComputeSummary(fixtureValues))
@@ -71,6 +79,19 @@ func TestFormatFixtures(t *testing.T) {
 				if got := sum.Checksum(); got != fixtureChecksum {
 					t.Fatalf("%s: checksum %#08x, want %#08x — footer encoding changed", fix.path, got, uint32(fixtureChecksum))
 				}
+			}
+			// The Verifier capability: v3 blocks verify their payload, older
+			// generations report "nothing to check" without failing.
+			if v, okv := b.(Verifier); okv {
+				checked, err := v.VerifyPayload()
+				if err != nil {
+					t.Fatalf("%s mode=%v: VerifyPayload: %v", fix.path, mode, err)
+				}
+				if want := fix.version == FormatV3; checked != want {
+					t.Fatalf("%s mode=%v: checked = %v, want %v", fix.path, mode, checked, want)
+				}
+			} else if fix.version == FormatV3 {
+				t.Fatalf("%s mode=%v: v3 block does not implement Verifier", fix.path, mode)
 			}
 			if c, okc := b.(interface{ Close() error }); okc {
 				if err := c.Close(); err != nil {
@@ -81,10 +102,18 @@ func TestFormatFixtures(t *testing.T) {
 	}
 }
 
+// The v3 fixture's payload CRC is pinned: if the payload checksum ever
+// changes encoding, files written by earlier releases stop verifying.
+func TestFixturePayloadChecksum(t *testing.T) {
+	if got := PayloadChecksum(fixtureValues); got != fixturePayloadChecksum {
+		t.Fatalf("payload checksum %#08x, want %#08x — payload CRC encoding changed", got, uint32(fixturePayloadChecksum))
+	}
+}
+
 func TestWriteFileV2Summary(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "v2.islb")
 	data := []float64{3, 1, 4, 1, 5, 9, 2.5, -6}
-	if err := WriteFile(path, data); err != nil {
+	if err := WriteFileV2(path, data); err != nil {
 		t.Fatal(err)
 	}
 	fb, err := OpenFile(0, path)
@@ -110,6 +139,52 @@ func TestWriteFileV2Summary(t *testing.T) {
 	}
 	if sum.Count != 8 || sum.Min != -6 || sum.Max != 9 {
 		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+// WriteFile writes the current (v3) format: summary footer, payload CRC,
+// and a file size accounting for the 52-byte footer.
+func TestWriteFileV3RoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v3.islb")
+	data := []float64{3, 1, 4, 1, 5, 9, 2.5, -6}
+	if err := WriteFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(headerSize + 8*len(data) + footerSizeV3); st.Size() != want {
+		t.Fatalf("v3 size = %d, want %d", st.Size(), want)
+	}
+	fb, err := OpenFile(0, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	if fb.Version() != FormatV3 {
+		t.Fatalf("version = %d, want 3", fb.Version())
+	}
+	sum, ok := fb.Summary()
+	if !ok || sum != ComputeSummary(data) {
+		t.Fatalf("summary %+v (ok=%v), want %+v", sum, ok, ComputeSummary(data))
+	}
+	sameValues(t, scanAll(t, fb), data)
+	checked, err := fb.VerifyPayload()
+	if !checked || err != nil {
+		t.Fatalf("VerifyPayload = (%v, %v), want (true, nil)", checked, err)
+	}
+	if MmapSupported() {
+		mb, err := OpenMmap(1, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mb.Close()
+		sameValues(t, scanAll(t, mb), data)
+		checked, err := mb.VerifyPayload()
+		if !checked || err != nil {
+			t.Fatalf("mmap VerifyPayload = (%v, %v), want (true, nil)", checked, err)
+		}
 	}
 }
 

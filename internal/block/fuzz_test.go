@@ -13,17 +13,10 @@ import (
 // must yield a block whose advertised length matches what a full scan
 // delivers — no over-read past the value region.
 func FuzzOpenFile(f *testing.F) {
-	// Valid seeds of both generations, plus targeted corruptions.
-	valid := func(version uint32, vals []float64) []byte {
-		dir := f.TempDir()
-		p := filepath.Join(dir, "seed")
-		var err error
-		if version == FormatV1 {
-			err = WriteFileV1(p, vals)
-		} else {
-			err = WriteFile(p, vals)
-		}
-		if err != nil {
+	// Valid seeds of every generation, plus targeted corruptions.
+	valid := func(write func(string, []float64) error, vals []float64) []byte {
+		p := filepath.Join(f.TempDir(), "seed")
+		if err := write(p, vals); err != nil {
 			f.Fatal(err)
 		}
 		raw, err := os.ReadFile(p)
@@ -32,18 +25,30 @@ func FuzzOpenFile(f *testing.F) {
 		}
 		return raw
 	}
-	v2 := valid(FormatV2, []float64{1, 2, 3, 4})
-	v1 := valid(FormatV1, []float64{1, 2, 3, 4})
+	v3 := valid(WriteFile, []float64{1, 2, 3, 4})
+	v2 := valid(WriteFileV2, []float64{1, 2, 3, 4})
+	v1 := valid(WriteFileV1, []float64{1, 2, 3, 4})
+	f.Add(v3)
 	f.Add(v2)
 	f.Add(v1)
-	f.Add(v2[:len(v2)-5])        // truncated footer
+	f.Add(v3[:len(v3)-5])        // truncated v3 footer
+	f.Add(v2[:len(v2)-5])        // truncated v2 footer
 	f.Add(v2[:headerSize])       // header only
 	f.Add(v2[:3])                // shorter than the magic
 	f.Add([]byte{})              // empty file
 	f.Add([]byte("NOTISLBDATA")) // bad magic
 	crcFlipped := append([]byte(nil), v2...)
 	crcFlipped[len(crcFlipped)-1] ^= 0xFF
-	f.Add(crcFlipped) // corrupt CRC
+	f.Add(crcFlipped) // corrupt v2 footer CRC
+	v3FooterCRC := append([]byte(nil), v3...)
+	v3FooterCRC[len(v3FooterCRC)-1] ^= 0xFF
+	f.Add(v3FooterCRC) // corrupt v3 footer CRC
+	v3PayloadCRC := append([]byte(nil), v3...)
+	v3PayloadCRC[len(v3PayloadCRC)-5] ^= 0xFF
+	f.Add(v3PayloadCRC) // corrupt v3 payload-CRC field
+	v3Payload := append([]byte(nil), v3...)
+	v3Payload[headerSize+3] ^= 0x01
+	f.Add(v3Payload) // flipped v3 payload bit
 	hugeCount := append([]byte(nil), v2...)
 	binary.LittleEndian.PutUint64(hugeCount[8:16], 1<<62) // implausible count
 	f.Add(hugeCount)
@@ -77,6 +82,15 @@ func FuzzOpenFile(f *testing.F) {
 			if sum, ok := BlockSummary(b); ok && sum.Count != b.Len() {
 				t.Errorf("mode=%v: summary count %d != len %d", mode, sum.Count, b.Len())
 			}
+			// The pread path verifies the payload checksum at open, so an
+			// accepted v3 block must verify cleanly afterwards too.
+			if mode == ModePread {
+				if v, okv := b.(Verifier); okv {
+					if _, err := v.VerifyPayload(); err != nil {
+						t.Errorf("pread accepted a block VerifyPayload rejects: %v", err)
+					}
+				}
+			}
 			if c, okc := b.(interface{ Close() error }); okc {
 				c.Close()
 			}
@@ -90,9 +104,12 @@ func FuzzParseHeaderFooter(f *testing.F) {
 	f.Add(hdr[:])
 	ft := encodeFooter(ComputeSummary([]float64{1, 2, 3}))
 	f.Add(ft[:])
+	ft3 := encodeFooterV3(ComputeSummary([]float64{1, 2, 3}), PayloadChecksum([]float64{1, 2, 3}))
+	f.Add(ft3[:])
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		parseHeader(raw)
 		parseFooter(raw)
+		parseFooterV3(raw)
 	})
 }

@@ -3,6 +3,7 @@ package block
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -98,6 +99,8 @@ type MmapBlock struct {
 	version uint32
 	summary Summary
 	summOK  bool
+	crc     uint32 // expected payload CRC (v3)
+	crcOK   bool   // the file carries a payload CRC
 
 	mapped []byte    // whole-file mapping, released by Close
 	data   []float64 // zero-copy view of the value region
@@ -114,27 +117,31 @@ type MmapBlock struct {
 }
 
 // OpenMmap opens a block file through the zero-copy mapping, validating
-// exactly what OpenFile validates. It fails with ErrMmapUnsupported where
+// the same header/size/footer invariants as OpenFile. Unlike OpenFile it
+// does NOT verify the v3 payload checksum at open — that would fault every
+// page in and defeat the lazy mapping; call VerifyPayload (directly or via
+// Store.Scrub) to check on demand. It fails with ErrMmapUnsupported where
 // the platform cannot map little-endian float64 values in place.
 func OpenMmap(id int, path string) (*MmapBlock, error) {
 	if !MmapSupported() {
 		return nil, ErrMmapUnsupported
 	}
-	f, version, n, sum, hasSum, err := openFileCommon(path)
+	f, meta, err := openFileCommon(path)
 	if err != nil {
 		return nil, err
 	}
-	mapped, err := mmapFile(f.Fd(), int(fileSize(version, n)))
+	mapped, err := mmapFile(f.Fd(), int(fileSize(meta.version, meta.n)))
 	f.Close() // the mapping outlives the descriptor
 	if err != nil {
 		return nil, fmt.Errorf("block: mmap %s: %w", path, err)
 	}
-	b := &MmapBlock{id: id, path: path, n: n, version: version,
-		summary: sum, summOK: hasSum, mapped: mapped}
-	if n > 0 {
+	b := &MmapBlock{id: id, path: path, n: meta.n, version: meta.version,
+		summary: meta.summary, summOK: meta.hasSummary,
+		crc: meta.payloadCRC, crcOK: meta.hasCRC, mapped: mapped}
+	if meta.n > 0 {
 		// headerSize is 8-aligned and mappings are page-aligned, so the
 		// value region is a valid []float64 in place on LE hosts.
-		b.data = unsafe.Slice((*float64)(unsafe.Pointer(&mapped[headerSize])), n)
+		b.data = unsafe.Slice((*float64)(unsafe.Pointer(&mapped[headerSize])), meta.n)
 	}
 	return b, nil
 }
@@ -197,9 +204,28 @@ func (b *MmapBlock) Path() string { return b.path }
 // Version returns the ISLB format version of the backing file.
 func (b *MmapBlock) Version() uint32 { return b.version }
 
-// Summary implements Summarized: the exact statistics persisted in the v2
-// footer. ok is false for v1 files, which carry none.
+// Summary implements Summarized: the exact statistics persisted in the
+// v2/v3 footer. ok is false for v1 files, which carry none.
 func (b *MmapBlock) Summary() (Summary, bool) { return b.summary, b.summOK }
+
+// VerifyPayload implements Verifier by running the CRC over the mapped
+// payload region — one sequential pass through the page cache, no copies.
+// checked is false for v1/v2 files, which persist no payload checksum.
+func (b *MmapBlock) VerifyPayload() (bool, error) {
+	if !b.crcOK {
+		return false, nil
+	}
+	if err := b.acquire(); err != nil {
+		return true, err
+	}
+	defer b.release()
+	crc := crc32.Checksum(b.mapped[headerSize:headerSize+8*b.n], castagnoli)
+	if crc != b.crc {
+		return true, &CorruptBlockError{Path: b.path,
+			Reason: fmt.Sprintf("payload checksum mismatch: %#08x, want %#08x", crc, b.crc)}
+	}
+	return true, nil
+}
 
 // Scan implements Block by folding the mapped values in place: no read
 // syscalls, no chunk buffer — fn sees the page cache directly.

@@ -87,6 +87,13 @@ type Config struct {
 	// without full summaries fall back to the sampled pilot. Default false:
 	// sampled pilots keep answers bit-identical with earlier releases.
 	SummaryPilot bool
+	// AllowPartial lets a run over a store with quarantined (corrupt)
+	// blocks degrade to the intact fraction instead of failing: the
+	// estimate then averages over the covered rows only and
+	// Result.Partial records what was lost — the same accounting the
+	// cluster tier uses for unreachable replicas. Default false: a
+	// damaged store fails loudly with a *QuarantinedError.
+	AllowPartial bool
 	// DisablePruning turns off zone-map block pruning in filtered runs:
 	// every block is sampled through the filter even when its persisted
 	// summary proves the predicate interval disjoint or containing. Pruning

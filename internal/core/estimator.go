@@ -97,34 +97,55 @@ func (e *Estimator) RunContext(ctx context.Context, s *block.Store) (Result, err
 }
 
 func (e *Estimator) runIID(ctx context.Context, s *block.Store) (Result, error) {
+	part, err := quarantineGate(s, e.cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	r := stats.NewRNG(e.cfg.Seed)
 	plan, err := PlanIID(s, e.cfg, r)
 	if err != nil {
 		return Result{}, err
 	}
 	blocks := s.Blocks()
+	// Seeds are drawn for every block, quarantined or not, so the stream a
+	// surviving block consumes does not shift when a neighbor is lost.
 	seeds := exec.Seeds(r, len(blocks))
 	perBlock, err := exec.Run(ctx, exec.Pool(e.cfg.Workers), len(blocks),
 		func(_ context.Context, i int) (BlockResult, error) {
-			br, err := plan.RunBlock(blocks[i], stats.NewRNG(seeds[i]))
+			b := blocks[i]
+			if part != nil && s.Quarantined(b.ID()) {
+				// Zero Len: the lost block carries no weight in the merge.
+				return BlockResult{BlockID: b.ID()}, nil
+			}
+			br, err := plan.RunBlock(b, stats.NewRNG(seeds[i]))
 			if err != nil {
-				return BlockResult{}, fmt.Errorf("core: block %d: %w", blocks[i].ID(), err)
+				return BlockResult{}, fmt.Errorf("core: block %d: %w", b.ID(), err)
 			}
 			return br, nil
 		})
 	if err != nil {
 		return Result{}, err
 	}
-	return plan.Summarize(perBlock, s.TotalLen()), nil
+	covered := s.TotalLen()
+	if part != nil {
+		covered = part.CoveredRows
+	}
+	res := plan.Summarize(perBlock, covered)
+	res.Partial = part
+	return res, nil
 }
 
 func (e *Estimator) runNonIID(ctx context.Context, s *block.Store) (Result, error) {
+	part, err := quarantineGate(s, e.cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	r := stats.NewRNG(e.cfg.Seed)
 	plans, overall, err := PlanNonIID(s, e.cfg, r)
 	if err != nil {
 		return Result{}, err
 	}
-	return runPlans(ctx, s, e.cfg, plans, overall, r)
+	return runPlans(ctx, s, e.cfg, plans, overall, r, part)
 }
 
 // Estimate is a convenience wrapper: build an estimator from cfg and run it

@@ -50,6 +50,10 @@ func EstimateFrozen(ctx context.Context, s *block.Store, cfg Config, fp FrozenPi
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	part, err := quarantineGate(s, cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	if len(fp.Pilots) != s.NumBlocks() {
 		return Result{}, fmt.Errorf("core: frozen pilot covers %d blocks, store has %d — frozen from a different store?",
 			len(fp.Pilots), s.NumBlocks())
@@ -62,13 +66,18 @@ func EstimateFrozen(ctx context.Context, s *block.Store, cfg Config, fp FrozenPi
 	if err != nil {
 		return Result{}, err
 	}
-	return runPlans(ctx, s, cfg, plans, overall, fp.RNG.RNG())
+	return runPlans(ctx, s, cfg, plans, overall, fp.RNG.RNG(), part)
 }
 
 // runPlans executes per-block plans on the exec runtime and summarizes —
 // the calculation half shared by the non-i.i.d. pipeline and the frozen
-// (plan-cache) path.
-func runPlans(ctx context.Context, s *block.Store, cfg Config, plans []*Plan, overall Pilot, r *stats.RNG) (Result, error) {
+// (plan-cache) path. part carries the quarantine accounting of a degraded
+// run (nil on a healthy store): quarantined blocks keep their plans and
+// their position in the seed stream but are never executed, so the
+// surviving blocks' draws — and hence their partial answers — are
+// bit-identical to the healthy run whenever the plans themselves did not
+// depend on the corrupt payload (summary pilots, frozen pilots).
+func runPlans(ctx context.Context, s *block.Store, cfg Config, plans []*Plan, overall Pilot, r *stats.RNG, part *Partial) (Result, error) {
 	// Seeds are consumed for planned blocks only, in block order — the same
 	// stream a sequential loop over the non-empty blocks would draw.
 	seeds := make([]uint64, len(plans))
@@ -83,7 +92,7 @@ func runPlans(ctx context.Context, s *block.Store, cfg Config, plans []*Plan, ov
 	perBlock, err := exec.Run(ctx, exec.Pool(cfg.Workers), len(blocks),
 		func(_ context.Context, i int) (BlockResult, error) {
 			b := blocks[i]
-			if plans[i] == nil {
+			if plans[i] == nil || (part != nil && s.Quarantined(b.ID())) {
 				return BlockResult{BlockID: b.ID()}, nil
 			}
 			br, err := plans[i].RunBlock(b, stats.NewRNG(seeds[i]))
@@ -95,5 +104,11 @@ func runPlans(ctx context.Context, s *block.Store, cfg Config, plans []*Plan, ov
 	if err != nil {
 		return Result{}, err
 	}
-	return SummarizeBlocks(cfg, overall, shift, perBlock, s.TotalLen()), nil
+	covered := s.TotalLen()
+	if part != nil {
+		covered = part.CoveredRows
+	}
+	res := SummarizeBlocks(cfg, overall, shift, perBlock, covered)
+	res.Partial = part
+	return res, nil
 }

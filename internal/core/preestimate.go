@@ -216,7 +216,11 @@ func PreEstimatePerBlock(s *block.Store, cfg Config, r *stats.RNG) ([]BlockPilot
 	pilots := make([]BlockPilot, s.NumBlocks())
 	var pooled stats.Moments
 	for i, b := range s.Blocks() {
-		if b.Len() == 0 {
+		// A quarantined block is never sampled — its bytes are corrupt. The
+		// zero pilot plans it out entirely (degraded answers stay sound but
+		// carry no bit-identity claim on this sampled path; the summary
+		// pilot above preserves identity, since footers stay trusted).
+		if b.Len() == 0 || s.Quarantined(b.ID()) {
 			pilots[i] = BlockPilot{}
 			continue
 		}

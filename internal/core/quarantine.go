@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"isla/internal/block"
+)
+
+// QuarantinedError reports that a query refused to run over a store with
+// quarantined (corrupt) blocks: either the caller did not opt into partial
+// answers (Config.AllowPartial), or nothing intact remains, or the query
+// class cannot degrade soundly (exact scans, filtered estimates whose
+// Horvitz-Thompson scaling assumes full coverage).
+type QuarantinedError struct {
+	// Blocks are the quarantined block ids, ascending.
+	Blocks []int
+	// CoveredRows / TotalRows describe the intact fraction.
+	CoveredRows, TotalRows int64
+}
+
+// Error implements error.
+func (e *QuarantinedError) Error() string {
+	return fmt.Sprintf("core: %d block(s) quarantined (%d of %d rows intact)",
+		len(e.Blocks), e.CoveredRows, e.TotalRows)
+}
+
+// QuarantinePartial returns the Partial accounting for the store's
+// quarantine state, nil when the store is healthy.
+func QuarantinePartial(s *block.Store) *Partial {
+	ids := s.QuarantinedIDs()
+	if len(ids) == 0 {
+		return nil
+	}
+	return &Partial{
+		MissingBlocks: ids,
+		CoveredRows:   s.CoveredLen(),
+		TotalRows:     s.TotalLen(),
+	}
+}
+
+// quarantineGate applies the partial-answer policy to the store's
+// quarantine state: a healthy store passes with (nil, nil); a damaged one
+// passes with the Partial accounting when cfg.AllowPartial is set and at
+// least one row survives, and fails with a *QuarantinedError otherwise.
+func quarantineGate(s *block.Store, cfg Config) (*Partial, error) {
+	part := QuarantinePartial(s)
+	if part == nil {
+		return nil, nil
+	}
+	if !cfg.AllowPartial || part.CoveredRows == 0 {
+		return nil, &QuarantinedError{
+			Blocks:      part.MissingBlocks,
+			CoveredRows: part.CoveredRows,
+			TotalRows:   part.TotalRows,
+		}
+	}
+	return part, nil
+}

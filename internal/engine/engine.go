@@ -147,6 +147,10 @@ type Result struct {
 	Groups []GroupResult
 	// Filter carries the selectivity diagnostics of a WHERE query.
 	Filter *FilterInfo
+	// Partial is non-nil when the answer degraded to the intact fraction
+	// of a store with quarantined (corrupt) blocks: the estimate covers
+	// Partial.CoveredRows of Partial.TotalRows.
+	Partial *core.Partial
 }
 
 // GroupResult is one group's answer within a grouped query.
@@ -166,6 +170,9 @@ type GroupResult struct {
 	Err string
 	// Filter carries the group's selectivity diagnostics under WHERE.
 	Filter *FilterInfo
+	// Partial is non-nil when this group's answer degraded to its intact
+	// fraction (quarantined blocks, AllowPartial mode).
+	Partial *core.Partial
 }
 
 // FilterInfo summarizes predicate rejection sampling: how many raw draws
@@ -214,6 +221,11 @@ type Engine struct {
 	perTable   sync.Map // table name → *atomic.Int64 query counts
 	statsFrom  time.Time
 	metrics    *metrics.Registry
+
+	// Storage-integrity counters, updated by Scrub.
+	scrubRuns    atomic.Int64
+	scrubChecked atomic.Int64
+	scrubCorrupt atomic.Int64
 }
 
 // New returns an engine over catalog with the paper's default config.
@@ -273,6 +285,16 @@ func (e *Engine) SetWorkers(n int) {
 	e.base.Workers = n
 }
 
+// SetAllowPartial atomically sets the base configuration's partial-answer
+// policy: with it on, unfiltered ISLA queries over tables with quarantined
+// blocks degrade to the intact fraction (Result.Partial records the loss)
+// instead of failing with a *core.QuarantinedError.
+func (e *Engine) SetAllowPartial(v bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.base.AllowPartial = v
+}
+
 // SetGroupExactThreshold sets the small-group exact fallback for GROUP BY
 // execution: groups with at most n rows are scanned exactly instead of
 // sampled — mirroring group.Options.ExactThreshold, so both paths return
@@ -325,15 +347,28 @@ type Stats struct {
 	PerTable map[string]int64
 	// Cache holds plan-cache counters when a cache is attached.
 	Cache *plancache.Stats
+	// ScrubRuns / ScrubChecked / ScrubCorrupt count scrub passes, blocks
+	// whose payload checksum was verified across them, and verification
+	// failures found.
+	ScrubRuns    int64
+	ScrubChecked int64
+	ScrubCorrupt int64
+	// Quarantined maps table names to their quarantined block ids
+	// (combined-view numbering); only damaged tables appear.
+	Quarantined map[string][]int
 }
 
 // Stats returns a snapshot of the serving counters.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		InFlight: e.inFlight.Load(),
-		Served:   e.served.Load(),
-		Uptime:   time.Since(e.statsFrom),
-		PerTable: make(map[string]int64),
+		InFlight:     e.inFlight.Load(),
+		Served:       e.served.Load(),
+		Uptime:       time.Since(e.statsFrom),
+		PerTable:     make(map[string]int64),
+		ScrubRuns:    e.scrubRuns.Load(),
+		ScrubChecked: e.scrubChecked.Load(),
+		ScrubCorrupt: e.scrubCorrupt.Load(),
+		Quarantined:  e.QuarantinedBlocks(),
 	}
 	e.perTable.Range(func(k, v any) bool {
 		st.PerTable[k.(string)] = v.(*atomic.Int64).Load()
@@ -344,6 +379,59 @@ func (e *Engine) Stats() Stats {
 		st.Cache = &cs
 	}
 	return st
+}
+
+// QuarantinedBlocks reports every table's quarantined block ids
+// (combined-view numbering for grouped tables); healthy tables are absent.
+// An empty map means all storage is believed intact.
+func (e *Engine) QuarantinedBlocks() map[string][]int {
+	out := make(map[string][]int)
+	for _, name := range e.Catalog.Names() {
+		tbl, err := e.Catalog.Lookup(name)
+		if err != nil {
+			continue // racing deregistration
+		}
+		if ids := tbl.Store.QuarantinedIDs(); len(ids) > 0 {
+			out[name] = ids
+		}
+	}
+	return out
+}
+
+// TableScrub is one table's scrub outcome within an engine-wide pass.
+type TableScrub struct {
+	Table  string
+	Report block.ScrubReport
+}
+
+// Scrub verifies the payload checksums of every registered table, with up
+// to workers blocks in flight per store (see exec.Pool), quarantining what
+// fails. Grouped tables scrub per group with the quarantine mirrored into
+// the combined view. Results come back per table in name order; the error
+// is non-nil only when a scrub could not complete (context cancelled,
+// unreadable file) — corruption lands in the reports, not the error.
+func (e *Engine) Scrub(ctx context.Context, workers int) ([]TableScrub, error) {
+	e.scrubRuns.Add(1)
+	var out []TableScrub
+	for _, name := range e.Catalog.Names() {
+		tbl, err := e.Catalog.Lookup(name)
+		if err != nil {
+			continue // racing deregistration
+		}
+		var rep block.ScrubReport
+		if tbl.Groups != nil {
+			rep, err = tbl.Groups.Scrub(ctx, workers)
+		} else {
+			rep, err = tbl.Store.Scrub(ctx, workers)
+		}
+		e.scrubChecked.Add(int64(rep.Verified))
+		e.scrubCorrupt.Add(int64(len(rep.Corrupt)))
+		out = append(out, TableScrub{Table: name, Report: rep})
+		if err != nil {
+			return out, fmt.Errorf("engine: scrub %q: %w", name, err)
+		}
+	}
+	return out, nil
 }
 
 // countQuery updates the serving counters and the metrics registry for
@@ -417,7 +505,8 @@ func (e *Engine) ExecuteContext(ctx context.Context, q query.Query) (Result, err
 			}
 			res.Groups = append(res.Groups, GroupResult{
 				Group: key, Value: p.value, CI: p.ci, Rows: s.TotalLen(),
-				Samples: p.samples, Exact: p.exact, PilotCached: p.cached, Filter: p.filter,
+				Samples: p.samples, Exact: p.exact, PilotCached: p.cached,
+				Filter: p.filter, Partial: p.part,
 			})
 			res.Samples += p.samples
 		}
@@ -438,6 +527,7 @@ func (e *Engine) ExecuteContext(ctx context.Context, q query.Query) (Result, err
 	res.AchievedPrecision = p.achieved
 	res.CoveredBlocks = p.covered
 	res.Filter = p.filter
+	res.Partial = p.part
 	res.Duration = time.Since(start)
 	e.countQuery(tbl.Name, q, &res)
 	return res, nil
@@ -475,6 +565,7 @@ type partial struct {
 	exact     bool
 	cached    bool
 	filter    *FilterInfo
+	part      *core.Partial // quarantine degradation accounting
 }
 
 // filterInfo extracts the selectivity diagnostics of a filtered run.
@@ -518,6 +609,29 @@ func (e *Engine) aggregateStore(ctx context.Context, q query.Query, cfg core.Con
 	if grouped && !exact && q.Method == query.MethodISLA {
 		if thr := e.groupExactThreshold(); thr > 0 && M <= thr {
 			exact = true
+		}
+	}
+
+	// Quarantined stores: unfiltered COUNT proceeds (exact from metadata,
+	// untouched by corrupt bytes) and exact paths proceed when they can be
+	// served from trusted footers (a scan-based exact answer fails inside
+	// the store with a CorruptBlockError). The unfiltered ISLA estimator
+	// proceeds too, degrading or refusing under core's AllowPartial policy.
+	// Everything else refuses with the typed error: filtered estimates
+	// scale by the full M (Horvitz–Thompson would bias on partial
+	// coverage), baselines carry no partial accounting, and time-budgeted
+	// runs already compose truncation no CI could also absorb quarantine.
+	if ids := s.QuarantinedIDs(); len(ids) > 0 {
+		refuse := false
+		switch {
+		case q.Agg == query.COUNT && !hasFilter:
+		case exact:
+		case hasFilter, q.Method != query.MethodISLA, q.TimeBudget > 0:
+			refuse = true
+		}
+		if refuse {
+			return partial{}, &core.QuarantinedError{
+				Blocks: ids, CoveredRows: s.CoveredLen(), TotalRows: s.TotalLen()}
 		}
 	}
 
@@ -605,12 +719,18 @@ func (e *Engine) aggregateStore(ctx context.Context, q query.Query, cfg core.Con
 	}
 	p.value = avg
 	if q.Agg == query.SUM {
-		// SUM = AVG · M (§VII-D); the CI half-width scales by M too.
-		p.value = avg * float64(M)
+		// SUM = AVG · M (§VII-D); the CI half-width scales by M too. A
+		// degraded run covers only the intact rows, so its SUM is the sum
+		// over those rows — what Partial tells the caller it got.
+		scale := float64(M)
+		if p.part != nil {
+			scale = float64(p.part.CoveredRows)
+		}
+		p.value = avg * scale
 		if p.ci != nil {
 			ci := *p.ci
 			ci.Center = p.value
-			ci.HalfWidth *= float64(M)
+			ci.HalfWidth *= scale
 			p.ci = &ci
 		}
 	}
@@ -659,13 +779,14 @@ func (e *Engine) average(ctx context.Context, q query.Query, cfg core.Config, tb
 			}
 			out.PilotCached = hit
 			return out.Estimate, partial{ci: &out.CI, samples: out.TotalSamples,
-				detail: &out, cached: hit}, nil
+				detail: &out, cached: hit, part: out.Partial}, nil
 		}
 		out, err := core.EstimateContext(ctx, s, cfg)
 		if err != nil {
 			return 0, partial{}, err
 		}
-		return out.Estimate, partial{ci: &out.CI, samples: out.TotalSamples, detail: &out}, nil
+		return out.Estimate, partial{ci: &out.CI, samples: out.TotalSamples,
+			detail: &out, part: out.Partial}, nil
 
 	case query.MethodUS, query.MethodSTS, query.MethodMV, query.MethodMVB:
 		r := stats.NewRNG(cfg.Seed)

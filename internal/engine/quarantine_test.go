@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"isla/internal/block"
+	"isla/internal/core"
+	"isla/internal/stats"
+)
+
+// corruptTable registers a 4-block file-backed table named "t" whose block
+// 1 is corrupted on disk after open, and returns the engine (no scrub run
+// yet — the caller decides).
+func corruptTable(t *testing.T) (*Engine, *block.Store) {
+	t.Helper()
+	r := stats.NewRNG(8)
+	data := make([]float64, 800)
+	for i := range data {
+		data[i] = 50 + 5*r.NormFloat64()
+	}
+	prefix := filepath.Join(t.TempDir(), "t")
+	s, err := block.WritePartitionedMode(prefix, data, 4, block.ModePread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	if _, err := block.NewFaults(13).FlipPayloadByte(prefix + ".001"); err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog()
+	cat.Register("t", s)
+	return New(cat), s
+}
+
+// Scrub finds the damage, quarantines it, and surfaces it in the engine's
+// stats and quarantine map.
+func TestEngineScrubQuarantines(t *testing.T) {
+	e, s := corruptTable(t)
+	reports, err := e.Scrub(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Table != "t" {
+		t.Fatalf("reports = %+v", reports)
+	}
+	rep := reports[0].Report
+	if len(rep.Corrupt) != 1 || rep.Corrupt[0].BlockID != 1 {
+		t.Fatalf("Corrupt = %+v, want exactly block 1", rep.Corrupt)
+	}
+	if !s.Quarantined(1) {
+		t.Fatal("block 1 not quarantined after scrub")
+	}
+	qb := e.QuarantinedBlocks()
+	if got := qb["t"]; len(got) != 1 || got[0] != 1 {
+		t.Fatalf("QuarantinedBlocks = %v", qb)
+	}
+	st := e.Stats()
+	if st.ScrubRuns != 1 || st.ScrubChecked != 4 || st.ScrubCorrupt != 1 {
+		t.Fatalf("scrub counters = %d/%d/%d, want 1/4/1",
+			st.ScrubRuns, st.ScrubChecked, st.ScrubCorrupt)
+	}
+}
+
+// The per-statement degradation policy over a quarantined table.
+func TestEngineQuarantinePolicy(t *testing.T) {
+	e, s := corruptTable(t)
+	if _, err := e.Scrub(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+
+	var qe *core.QuarantinedError
+	// Default (no AllowPartial): the approximate query refuses.
+	if _, err := e.ExecuteSQL("SELECT AVG(v) FROM t WITH PRECISION 0.5 SEED 3"); !errors.As(err, &qe) {
+		t.Fatalf("AVG on damaged table: err = %v, want *QuarantinedError", err)
+	}
+	// Unfiltered COUNT answers from metadata regardless.
+	res, err := e.ExecuteSQL("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatalf("COUNT: %v", err)
+	}
+	if res.Value != 800 {
+		t.Errorf("COUNT = %v, want 800", res.Value)
+	}
+
+	e.SetAllowPartial(true)
+	// ISLA AVG degrades: Partial accounting matches the lost block exactly.
+	res, err = e.ExecuteSQL("SELECT AVG(v) FROM t WITH PRECISION 0.5 SEED 3")
+	if err != nil {
+		t.Fatalf("degraded AVG: %v", err)
+	}
+	p := res.Partial
+	if p == nil {
+		t.Fatal("Result.Partial = nil on a degraded run")
+	}
+	if len(p.MissingBlocks) != 1 || p.MissingBlocks[0] != 1 || p.CoveredRows != 600 || p.TotalRows != 800 {
+		t.Fatalf("Partial = %+v, want block 1 missing, 600/800 rows", p)
+	}
+	// SUM scales by the covered rows, not the registered total.
+	sum, err := e.ExecuteSQL("SELECT SUM(v) FROM t WITH PRECISION 0.5 SEED 3")
+	if err != nil {
+		t.Fatalf("degraded SUM: %v", err)
+	}
+	avgOverCovered := sum.Value / float64(sum.Partial.CoveredRows)
+	if math.Abs(avgOverCovered-res.Value) > 1e-9 {
+		t.Errorf("SUM/CoveredRows = %v, want the degraded AVG %v", avgOverCovered, res.Value)
+	}
+
+	// Statements whose statistics cannot be rescaled soundly still refuse,
+	// AllowPartial or not.
+	for _, sql := range []string{
+		"SELECT AVG(v) FROM t WITH PRECISION 0.5 SEED 3 WHERE v > 50",
+		"SELECT AVG(v) FROM t WITH PRECISION 0.5 METHOD UNIFORM SEED 3",
+		"SELECT AVG(v) FROM t WITH TIME 0.2 SEED 3",
+	} {
+		if _, err := e.ExecuteSQL(sql); !errors.As(err, &qe) {
+			t.Errorf("%s: err = %v, want *QuarantinedError", sql, err)
+		}
+	}
+
+	// Exact AVG is served from the summaries, which carry their own CRC in
+	// the footer and stay trusted after payload corruption: the answer is
+	// the true full-table mean, no degradation needed.
+	exact, err := e.ExecuteSQL("SELECT AVG(v) FROM t METHOD EXACT")
+	if err != nil {
+		t.Fatalf("exact AVG: %v", err)
+	}
+	if exact.Partial != nil {
+		t.Error("exact AVG reported Partial; summaries cover the whole table")
+	}
+
+	// Repair: clearing the quarantine restores normal refusal-free service
+	// (the corruption is still on disk, but the engine no longer knows — a
+	// re-scrub would re-quarantine; here we only check the gate clears).
+	s.ClearQuarantine()
+	if _, err := e.ExecuteSQL("SELECT COUNT(*) FROM t"); err != nil {
+		t.Fatalf("after ClearQuarantine: %v", err)
+	}
+	if len(e.QuarantinedBlocks()) != 0 {
+		t.Error("QuarantinedBlocks non-empty after ClearQuarantine")
+	}
+}

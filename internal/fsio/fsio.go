@@ -1,0 +1,130 @@
+// Package fsio provides crash-safe file publication for every writer in
+// the storage tier. A file written with WriteFileAtomic is either fully
+// visible under its final name or not visible at all: the bytes land in a
+// temporary file in the destination directory, are fsynced, the file is
+// renamed over the destination (atomic within a POSIX filesystem), and the
+// directory is fsynced so the rename itself survives a crash. A torn write
+// can therefore never be observed under the published name — the failure
+// mode ISLB's integrity checks would otherwise have to catch after the
+// fact.
+package fsio
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// CrashPoint identifies a stage of WriteFileAtomic where a crash can be
+// simulated by a test hook: the interesting windows around the rename that
+// publishes the file.
+type CrashPoint int
+
+const (
+	// CrashBeforeRename fires after the temp file is written, synced and
+	// closed, but before it is renamed over the destination. A crash here
+	// must leave the destination untouched (absent, or its previous
+	// content).
+	CrashBeforeRename CrashPoint = iota
+	// CrashAfterRename fires after the rename but before the directory
+	// sync. The destination is already complete; only the rename's
+	// durability is still pending.
+	CrashAfterRename
+)
+
+// crashHook simulates a crash at the given point by returning a non-nil
+// error, which aborts the write exactly as a kill would (minus the process
+// exit). Nil outside tests.
+var crashHook func(CrashPoint) error
+
+// SetCrashHook installs a crash-simulation hook and returns a function
+// restoring the previous one. Test-only: production writers never set it.
+func SetCrashHook(hook func(CrashPoint) error) (restore func()) {
+	prev := crashHook
+	crashHook = hook
+	return func() { crashHook = prev }
+}
+
+func crash(p CrashPoint) error {
+	if crashHook != nil {
+		return crashHook(p)
+	}
+	return nil
+}
+
+// WriteFileAtomic writes the output of write to path atomically and
+// durably: temp file in path's directory → buffered write → flush → fsync
+// → close → rename over path → fsync the directory. On any error the temp
+// file is removed and the destination is left exactly as it was.
+func WriteFileAtomic(path string, perm os.FileMode, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	closed := false
+	defer func() {
+		if err != nil {
+			if !closed {
+				tmp.Close()
+			}
+			os.Remove(tmpPath)
+		}
+	}()
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	if err = write(w); err != nil {
+		return err
+	}
+	if err = w.Flush(); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Chmod(perm); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	closed = true
+	if err = crash(CrashBeforeRename); err != nil {
+		return err
+	}
+	if err = os.Rename(tmpPath, path); err != nil {
+		return err
+	}
+	if err = crash(CrashAfterRename); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// WriteFileBytes is WriteFileAtomic for callers that already hold the
+// whole content — the atomic, durable replacement for os.WriteFile.
+func WriteFileBytes(path string, data []byte, perm os.FileMode) error {
+	return WriteFileAtomic(path, perm, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// syncDir fsyncs a directory so a just-completed rename inside it is
+// durable. Filesystems that reject fsync on directories (some network and
+// FUSE filesystems) degrade gracefully: the rename is still atomic, only
+// its durability rides on the filesystem's own ordering.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package fsio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// listDir returns the names in dir, for asserting that no temp litter
+// survives a write (successful or crashed).
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteFileBytesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.bin")
+	want := []byte("first version")
+	if err := WriteFileBytes(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("content = %q, want %q", got, want)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Errorf("perm = %v, want 0644", fi.Mode().Perm())
+	}
+
+	// Overwrite: the new content fully replaces the old, no temp litter.
+	want = []byte("second, longer version of the content")
+	if err := WriteFileBytes(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("after overwrite content = %q, want %q", got, want)
+	}
+	if names := listDir(t, dir); len(names) != 1 || names[0] != "data.bin" {
+		t.Fatalf("directory litter after writes: %v", names)
+	}
+}
+
+// A failing write callback must leave the destination exactly as it was
+// and remove the temp file.
+func TestWriteFileAtomicWriteErrorLeavesOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.bin")
+	old := []byte("the old content")
+	if err := WriteFileBytes(path, old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFileAtomic(path, 0o644, func(w io.Writer) error {
+		w.Write([]byte("half of the new con")) //nolint:errcheck
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the write callback's error", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, old) {
+		t.Fatalf("destination changed on failed write: %q", got)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("temp litter after failed write: %v", names)
+	}
+}
+
+// A crash before the rename must leave the destination untouched: absent
+// when the file is new, the previous content when it is being replaced.
+// The published name never shows a partial file.
+func TestCrashBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	crashed := errors.New("simulated crash")
+	restore := SetCrashHook(func(p CrashPoint) error {
+		if p == CrashBeforeRename {
+			return crashed
+		}
+		return nil
+	})
+	defer restore()
+
+	// Fresh file: nothing may appear under the destination name.
+	fresh := filepath.Join(dir, "fresh.bin")
+	if err := WriteFileBytes(fresh, []byte("never published"), 0o644); !errors.Is(err, crashed) {
+		t.Fatalf("err = %v, want the simulated crash", err)
+	}
+	if _, err := os.Stat(fresh); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("destination exists after crash before rename: stat err = %v", err)
+	}
+
+	// Replacement: the previous content survives byte for byte.
+	repl := filepath.Join(dir, "replace.bin")
+	restore2 := SetCrashHook(nil)
+	old := []byte("previous content")
+	if err := WriteFileBytes(repl, old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	restore2()
+	if err := WriteFileBytes(repl, []byte("new content"), 0o644); !errors.Is(err, crashed) {
+		t.Fatalf("err = %v, want the simulated crash", err)
+	}
+	got, err := os.ReadFile(repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, old) {
+		t.Fatalf("destination = %q after crash, want the old content %q", got, old)
+	}
+
+	// Only dot-prefixed temp names may remain — a crashed writer's litter
+	// is invisible to globbing and never looks like a published block.
+	for _, name := range listDir(t, dir) {
+		if name == "replace.bin" {
+			continue
+		}
+		if !strings.HasPrefix(name, ".") {
+			t.Errorf("crash left a visible file %q", name)
+		}
+	}
+}
+
+// A crash after the rename (before the directory sync) must leave the
+// destination complete: the publication already happened.
+func TestCrashAfterRename(t *testing.T) {
+	dir := t.TempDir()
+	crashed := errors.New("simulated crash")
+	restore := SetCrashHook(func(p CrashPoint) error {
+		if p == CrashAfterRename {
+			return crashed
+		}
+		return nil
+	})
+	defer restore()
+	path := filepath.Join(dir, "data.bin")
+	want := []byte("complete content")
+	if err := WriteFileBytes(path, want, 0o644); !errors.Is(err, crashed) {
+		t.Fatalf("err = %v, want the simulated crash", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("destination = %q after crash-after-rename, want %q", got, want)
+	}
+}
+
+// SetCrashHook must restore the previous hook, not just clear it.
+func TestSetCrashHookRestores(t *testing.T) {
+	outer := func(CrashPoint) error { return nil }
+	restoreOuter := SetCrashHook(outer)
+	defer restoreOuter()
+	inner := errors.New("inner")
+	restoreInner := SetCrashHook(func(CrashPoint) error { return inner })
+	path := filepath.Join(t.TempDir(), "f")
+	if err := WriteFileBytes(path, []byte("x"), 0o644); !errors.Is(err, inner) {
+		t.Fatalf("err = %v, want the inner hook's error", err)
+	}
+	restoreInner()
+	if err := WriteFileBytes(path, []byte("x"), 0o644); err != nil {
+		t.Fatalf("outer hook should be back and benign, got %v", err)
+	}
+}

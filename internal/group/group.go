@@ -14,6 +14,7 @@
 package group
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 
 	"isla/internal/block"
 	"isla/internal/core"
+	"isla/internal/fsio"
 	"isla/internal/stats"
 )
 
@@ -124,6 +126,33 @@ func (g *Store) TotalLen() int64 { return g.total }
 // persisted summaries delegate to the underlying blocks.
 func (g *Store) Combined() *block.Store { return g.combined }
 
+// Scrub verifies every group's blocks in sorted-key order and mirrors the
+// quarantine into the combined view, so ungrouped queries on the same
+// table see the same damage a grouped query does. Reports come back merged
+// with block ids renumbered into the combined view's numbering (groups are
+// concatenated in sorted-key order and group-local ids equal block
+// positions, as every construction path here guarantees). workers bounds
+// the verification concurrency within each group.
+func (g *Store) Scrub(ctx context.Context, workers int) (block.ScrubReport, error) {
+	var rep block.ScrubReport
+	offset := 0
+	for _, k := range g.keys {
+		s := g.groups[k]
+		r, err := s.Scrub(ctx, workers)
+		for i := range r.Corrupt {
+			combined := offset + r.Corrupt[i].BlockID
+			g.combined.Quarantine(combined)
+			r.Corrupt[i].BlockID = combined
+		}
+		rep.Merge(r)
+		if err != nil {
+			return rep, err
+		}
+		offset += s.NumBlocks()
+	}
+	return rep, nil
+}
+
 // Close releases resources held by every group's store (file-backed and
 // memory-mapped blocks). The combined view shares the same blocks, so each
 // is closed exactly once; the first error wins.
@@ -167,6 +196,18 @@ func (b reidBlock) Summary() (block.Summary, bool) {
 func (b reidBlock) SampleFilteredInterval(r *stats.RNG, m int64, lo, hi float64, fn func(vs []float64) error) (int64, error) {
 	return block.SampleFilteredIntervalChunks(b.Block, r, m, lo, hi, fn)
 }
+
+// VerifyPayload implements block.Verifier by delegating, so a scrub of the
+// combined view checks the same bytes a per-group scrub would.
+func (b reidBlock) VerifyPayload() (bool, error) {
+	if v, ok := b.Block.(block.Verifier); ok {
+		return v.VerifyPayload()
+	}
+	return false, nil
+}
+
+// Path exposes the underlying block's file path for scrub reports.
+func (b reidBlock) Path() string { return block.BlockPath(b.Block) }
 
 // Agg selects the grouped aggregate function.
 type Agg int
@@ -308,7 +349,8 @@ const manifestVersion = 1
 // directory.
 const ManifestName = "manifest.json"
 
-// WriteFiles partitions rows per group into ISLB v2 block files under dir
+// WriteFiles partitions rows per group into ISLB block files (current
+// format) under dir
 // (g0000.000, g0000.001, … — group directories indexed in sorted-key
 // order) and writes ManifestName describing them. Partition boundaries
 // match block.Partition exactly, so a store opened from these files is
@@ -359,7 +401,10 @@ func WriteFiles(dir, column string, rows []Row, blocksPerGroup int) (string, err
 	if err != nil {
 		return "", err
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	// The manifest is the table's root pointer: published atomically and
+	// durably like the block files it names, so a crash mid-write can never
+	// leave a torn manifest shadowing a complete set of blocks.
+	if err := fsio.WriteFileBytes(path, append(data, '\n'), 0o644); err != nil {
 		return "", err
 	}
 	return path, nil

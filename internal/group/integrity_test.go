@@ -1,0 +1,120 @@
+package group
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"isla/internal/block"
+	"isla/internal/fsio"
+	"isla/internal/stats"
+)
+
+func integrityRows(n int) []Row {
+	r := stats.NewRNG(31)
+	keys := []string{"east", "west", "north"}
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{Group: keys[i%len(keys)], Value: 10 + r.Float64()}
+	}
+	return rows
+}
+
+// A manifest torn mid-write (truncated JSON) must fail OpenManifest with a
+// parse error, never half-open a table.
+func TestOpenManifestTorn(t *testing.T) {
+	dir := t.TempDir()
+	man, err := WriteFiles(dir, "region", integrityRows(300), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(man, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenManifest(man, block.ModeAuto); err == nil {
+		t.Fatal("OpenManifest accepted a torn manifest")
+	}
+}
+
+// WriteFiles publishes the manifest atomically: a crash before the rename
+// leaves no manifest at all (and the loader therefore sees a clean "not
+// yet written" state, not a torn file).
+func TestWriteFilesCrashLeavesNoTornManifest(t *testing.T) {
+	dir := t.TempDir()
+	crashed := errors.New("simulated crash")
+	restore := fsio.SetCrashHook(func(p fsio.CrashPoint) error {
+		if p == fsio.CrashBeforeRename {
+			return crashed
+		}
+		return nil
+	})
+	_, err := WriteFiles(dir, "region", integrityRows(300), 2)
+	restore()
+	if !errors.Is(err, crashed) {
+		t.Fatalf("err = %v, want the simulated crash", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("manifest exists after crash before rename: stat err = %v", err)
+	}
+}
+
+// Scrubbing a grouped store finds corruption in a member group's file and
+// quarantines the block in the combined view too, so ungrouped queries on
+// the same table see the degradation.
+func TestGroupScrubMirrorsIntoCombined(t *testing.T) {
+	dir := t.TempDir()
+	man, err := WriteFiles(dir, "region", integrityRows(600), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := OpenManifest(man, block.ModePread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	rep, err := g.Scrub(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy() {
+		t.Fatalf("fresh grouped store scrub = %+v", rep)
+	}
+	total := rep.Blocks
+
+	// Corrupt one block file of one group on disk.
+	matches, err := filepath.Glob(filepath.Join(dir, "g*.???"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no block files found: %v", err)
+	}
+	victim := matches[len(matches)/2]
+	if _, err := block.NewFaults(9).FlipPayloadByte(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err = g.Scrub(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Blocks != total || len(rep.Corrupt) != 1 {
+		t.Fatalf("scrub after corruption = %+v, want 1 corrupt of %d", rep, total)
+	}
+	if rep.Corrupt[0].Path != victim {
+		t.Errorf("corrupt path = %q, want %q", rep.Corrupt[0].Path, victim)
+	}
+	// The combined view is degraded by exactly the victim's rows.
+	combined := g.Combined()
+	ids := combined.QuarantinedIDs()
+	if len(ids) != 1 {
+		t.Fatalf("combined quarantined ids = %v, want exactly one", ids)
+	}
+	if covered := combined.CoveredLen(); covered >= combined.TotalLen() || covered == 0 {
+		t.Fatalf("combined coverage %d of %d after quarantine", covered, combined.TotalLen())
+	}
+}

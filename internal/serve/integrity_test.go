@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"isla/internal/block"
+	"isla/internal/engine"
+	"isla/internal/stats"
+)
+
+// newCorruptServer serves a 4-block file-backed table "t" whose block 2 is
+// corrupted on disk. No scrub has run yet.
+func newCorruptServer(t *testing.T) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	r := stats.NewRNG(4)
+	data := make([]float64, 1000)
+	for i := range data {
+		data[i] = 10 + r.Float64()
+	}
+	prefix := filepath.Join(t.TempDir(), "t")
+	s, err := block.WritePartitionedMode(prefix, data, 4, block.ModePread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	if _, err := block.NewFaults(6).FlipPayloadByte(prefix + ".002"); err != nil {
+		t.Fatal(err)
+	}
+	catalog := engine.NewCatalog()
+	catalog.Register("t", s)
+	eng := engine.New(catalog)
+	srv, err := New(Config{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+// The operator's end-to-end flow: healthz ok → POST /scrub finds the
+// corruption → healthz degraded, stats and metrics carry the counters,
+// queries 503 → allow-partial turns them into degraded 200s with the
+// coverage in the body.
+func TestScrubEndpointAndDegradedServing(t *testing.T) {
+	ts, eng := newCorruptServer(t)
+
+	var health HealthResponse
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health.Status != "ok" {
+		t.Fatalf("pre-scrub health = %q, want ok (nothing quarantined yet)", health.Status)
+	}
+
+	// GET on the scrub endpoint is refused; it mutates state.
+	resp, err := http.Get(ts.URL + "/scrub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /scrub status = %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/scrub", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr ScrubResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /scrub status = %d", resp.StatusCode)
+	}
+	if sr.Healthy {
+		t.Fatal("scrub reported healthy over a corrupt table")
+	}
+	if len(sr.Tables) != 1 || sr.Tables[0].Table != "t" ||
+		len(sr.Tables[0].Corrupt) != 1 || sr.Tables[0].Corrupt[0].Block != 2 {
+		t.Fatalf("scrub response = %+v, want exactly block 2 of t corrupt", sr)
+	}
+
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health.Status != "degraded" {
+		t.Fatalf("post-scrub health = %q, want degraded", health.Status)
+	}
+	if ids := health.Quarantined["t"]; len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("health quarantined = %v", health.Quarantined)
+	}
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.ScrubRuns != 1 || st.ScrubChecked != 4 || st.ScrubCorrupt != 1 {
+		t.Fatalf("stats scrub counters = %d/%d/%d, want 1/4/1",
+			st.ScrubRuns, st.ScrubChecked, st.ScrubCorrupt)
+	}
+	if ids := st.Quarantined["t"]; len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("stats quarantined = %v", st.Quarantined)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsText := string(raw)
+	for _, want := range []string{
+		"isla_quarantined_blocks 1",
+		"isla_scrub_runs_total 1",
+		"isla_scrub_checked_total 4",
+		"isla_scrub_corrupt_total 1",
+	} {
+		if !strings.Contains(metricsText, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// The approximate query now refuses with 503 (data unavailable).
+	const sql = "SELECT AVG(v) FROM t WITH PRECISION 0.5 SEED 3"
+	resp2, body := postQuery(t, ts.URL, QueryRequest{SQL: sql})
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query on damaged table: status %d (%s), want 503", resp2.StatusCode, body)
+	}
+
+	// With AllowPartial the same statement answers degraded, carrying the
+	// coverage accounting in the response body.
+	eng.SetAllowPartial(true)
+	resp2, body = postQuery(t, ts.URL, QueryRequest{SQL: sql})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("degraded query: status %d (%s)", resp2.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Partial == nil {
+		t.Fatal("degraded response has no partial field")
+	}
+	if len(qr.Partial.MissingBlocks) != 1 || qr.Partial.MissingBlocks[0] != 2 ||
+		qr.Partial.CoveredRows != 750 || qr.Partial.TotalRows != 1000 {
+		t.Fatalf("partial = %+v, want block 2 missing, 750/1000 rows", qr.Partial)
+	}
+}

@@ -4,9 +4,12 @@
 //
 //	POST /query    {"sql": "...", "timeout_ms": 500, "budget_ms": 50}  → answer + CI + diagnostics
 //	GET  /tables   registered tables with row/block counts
-//	GET  /healthz  liveness probe
+//	GET  /healthz  liveness probe; reports "degraded" with the quarantined
+//	               blocks when storage corruption was found
 //	GET  /stats    windowed QPS, latency quantiles, cache + error counters
 //	GET  /metrics  the same observability in Prometheus text format
+//	POST /scrub    verify every table's payload checksums, quarantine what
+//	               fails, report per table
 //
 // Concurrency control is two-layered: the engine itself is safe for
 // concurrent use (immutable base config, per-query derived configs, plan
@@ -34,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"isla/internal/core"
 	"isla/internal/engine"
 	"isla/internal/metrics"
 	"isla/internal/query"
@@ -103,6 +107,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/scrub", s.handleScrub)
 	return s, nil
 }
 
@@ -149,14 +154,35 @@ type QueryResponse struct {
 	// accounting of a WITH TIME / budget_ms run: the precision the budget
 	// afforded and how many blocks the answer covers (fewer than the
 	// table's total exactly when Truncated).
-	AchievedPrecision float64         `json:"achieved_precision,omitempty"`
-	CoveredBlocks     int             `json:"covered_blocks,omitempty"`
-	CI                *CIResponse     `json:"ci,omitempty"`
-	PilotCached       bool            `json:"pilot_cached,omitempty"`
-	PilotSize         int64           `json:"pilot_size,omitempty"`
-	GroupBy           string          `json:"group_by,omitempty"`
-	Groups            []GroupResponse `json:"groups,omitempty"`
-	Filter            *FilterResponse `json:"filter,omitempty"`
+	AchievedPrecision float64          `json:"achieved_precision,omitempty"`
+	CoveredBlocks     int              `json:"covered_blocks,omitempty"`
+	CI                *CIResponse      `json:"ci,omitempty"`
+	PilotCached       bool             `json:"pilot_cached,omitempty"`
+	PilotSize         int64            `json:"pilot_size,omitempty"`
+	GroupBy           string           `json:"group_by,omitempty"`
+	Groups            []GroupResponse  `json:"groups,omitempty"`
+	Filter            *FilterResponse  `json:"filter,omitempty"`
+	Partial           *PartialResponse `json:"partial,omitempty"`
+}
+
+// PartialResponse marks a degraded answer: quarantined blocks were
+// excluded and the value describes only the covered fraction of the
+// table. Present only when the engine runs with AllowPartial.
+type PartialResponse struct {
+	MissingBlocks []int `json:"missing_blocks"`
+	CoveredRows   int64 `json:"covered_rows"`
+	TotalRows     int64 `json:"total_rows"`
+}
+
+func partialResponse(p *core.Partial) *PartialResponse {
+	if p == nil {
+		return nil
+	}
+	return &PartialResponse{
+		MissingBlocks: p.MissingBlocks,
+		CoveredRows:   p.CoveredRows,
+		TotalRows:     p.TotalRows,
+	}
 }
 
 // GroupResponse is one group's row in a grouped answer. A group that
@@ -169,9 +195,10 @@ type GroupResponse struct {
 	Samples     int64           `json:"samples,omitempty"`
 	Exact       bool            `json:"exact,omitempty"`
 	PilotCached bool            `json:"pilot_cached,omitempty"`
-	CI          *CIResponse     `json:"ci,omitempty"`
-	Filter      *FilterResponse `json:"filter,omitempty"`
-	Error       string          `json:"error,omitempty"`
+	CI          *CIResponse      `json:"ci,omitempty"`
+	Filter      *FilterResponse  `json:"filter,omitempty"`
+	Partial     *PartialResponse `json:"partial,omitempty"`
+	Error       string           `json:"error,omitempty"`
 }
 
 // FilterResponse reports predicate rejection-sampling diagnostics,
@@ -312,6 +339,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	res, err := s.eng.ExecuteContext(ctx, q)
 	if err != nil {
+		var qe *core.QuarantinedError
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
 			s.timedOut.Add(1)
@@ -328,6 +356,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, engine.ErrUnknownTable):
 			s.errored.Add(1)
 			writeError(w, http.StatusNotFound, err)
+		case errors.As(err, &qe):
+			// Storage corruption was quarantined and the statement cannot
+			// degrade (or degradation is off): the data is unavailable, not
+			// the request malformed.
+			s.errored.Add(1)
+			writeError(w, http.StatusServiceUnavailable, err)
 		default:
 			s.errored.Add(1)
 			writeError(w, http.StatusBadRequest, err)
@@ -348,6 +382,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		CI:                ciResponse(res.CI),
 		GroupBy:           res.Query.GroupBy,
 		Filter:            filterResponse(res.Filter),
+		Partial:           partialResponse(res.Partial),
 	}
 	if res.Detail != nil {
 		resp.PilotCached = res.Detail.PilotCached
@@ -363,6 +398,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			PilotCached: gr.PilotCached,
 			CI:          ciResponse(gr.CI),
 			Filter:      filterResponse(gr.Filter),
+			Partial:     partialResponse(gr.Partial),
 			Error:       gr.Err,
 		})
 	}
@@ -433,8 +469,23 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, infos)
 }
 
+// HealthResponse is the GET /healthz body. Status is "ok", or "degraded"
+// when storage corruption has been quarantined — the server still answers
+// (queries degrade or refuse per statement), so the HTTP status stays 200
+// and load balancers keep the node in rotation while the operator repairs.
+type HealthResponse struct {
+	Status string `json:"status"`
+	// Quarantined maps damaged table names to their quarantined block ids.
+	Quarantined map[string][]int `json:"quarantined,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := HealthResponse{Status: "ok"}
+	if quarantined := s.eng.QuarantinedBlocks(); len(quarantined) > 0 {
+		resp.Status = "degraded"
+		resp.Quarantined = quarantined
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // TableStats is one table's serving counters in GET /stats. QPS10 and
@@ -480,6 +531,13 @@ type StatsResponse struct {
 	TruncationRate  float64               `json:"truncation_rate"`
 	PerTable        map[string]TableStats `json:"per_table"`
 	Cache           *CacheStats           `json:"cache,omitempty"`
+	// ScrubRuns/ScrubChecked/ScrubCorrupt are lifetime integrity-scrub
+	// counters; Quarantined maps damaged tables to their quarantined
+	// block ids (absent while the store is healthy).
+	ScrubRuns    int64            `json:"scrub_runs"`
+	ScrubChecked int64            `json:"scrub_checked"`
+	ScrubCorrupt int64            `json:"scrub_corrupt"`
+	Quarantined  map[string][]int `json:"quarantined,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -501,6 +559,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QPS10:         reg.QPS(10 * time.Second),
 		QPS60:         reg.QPS(60 * time.Second),
 		PerTable:      make(map[string]TableStats, len(es.PerTable)),
+		ScrubRuns:     es.ScrubRuns,
+		ScrubChecked:  es.ScrubChecked,
+		ScrubCorrupt:  es.ScrubCorrupt,
+	}
+	if len(es.Quarantined) > 0 {
+		resp.Quarantined = es.Quarantined
 	}
 	if q, samples, truncated := reg.Totals(); q > 0 {
 		resp.SamplesPerQuery = float64(samples) / float64(q)
@@ -561,6 +625,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metrics.WriteHeader(w, "isla_uptime_seconds", "Seconds since the server started.", "gauge")
 	metrics.WriteSample(w, "isla_uptime_seconds", nil, time.Since(s.started).Seconds())
 
+	quarantined := 0
+	for _, ids := range es.Quarantined {
+		quarantined += len(ids)
+	}
+	metrics.WriteHeader(w, "isla_quarantined_blocks", "Blocks quarantined for corruption across all tables.", "gauge")
+	metrics.WriteSample(w, "isla_quarantined_blocks", nil, float64(quarantined))
+	metrics.WriteHeader(w, "isla_scrub_runs_total", "Integrity scrubs completed since start.", "counter")
+	metrics.WriteSample(w, "isla_scrub_runs_total", nil, float64(es.ScrubRuns))
+	metrics.WriteHeader(w, "isla_scrub_checked_total", "Blocks whose payload checksum a scrub verified.", "counter")
+	metrics.WriteSample(w, "isla_scrub_checked_total", nil, float64(es.ScrubChecked))
+	metrics.WriteHeader(w, "isla_scrub_corrupt_total", "Corrupt blocks found by scrubs.", "counter")
+	metrics.WriteSample(w, "isla_scrub_corrupt_total", nil, float64(es.ScrubCorrupt))
+
 	if es.Cache != nil {
 		metrics.WriteHeader(w, "isla_plancache_hits_total", "Plan-cache hits.", "counter")
 		metrics.WriteSample(w, "isla_plancache_hits_total", nil, float64(es.Cache.Hits))
@@ -577,4 +654,67 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		metrics.WriteSample(w, "isla_plancache_hit_rate", nil, rate)
 	}
+}
+
+// ScrubErrorResponse is one corrupt block in a POST /scrub report.
+type ScrubErrorResponse struct {
+	Block int    `json:"block"`
+	Path  string `json:"path"`
+	Error string `json:"error"`
+}
+
+// TableScrubResponse is one table's integrity report in POST /scrub.
+type TableScrubResponse struct {
+	Table    string               `json:"table"`
+	Blocks   int                  `json:"blocks"`
+	Verified int                  `json:"verified"`
+	Skipped  int                  `json:"skipped"`
+	Corrupt  []ScrubErrorResponse `json:"corrupt,omitempty"`
+}
+
+// ScrubResponse is the POST /scrub body: every table's payload checksums
+// verified, corrupt blocks quarantined and reported.
+type ScrubResponse struct {
+	Healthy    bool                 `json:"healthy"`
+	DurationMS float64              `json:"duration_ms"`
+	Tables     []TableScrubResponse `json:"tables"`
+}
+
+// handleScrub verifies every registered table's payload checksums against
+// the on-disk bytes, quarantining whatever fails. It is an operator
+// endpoint: POST-only, runs under the request's context (point a generous
+// client timeout at it for large stores), and answers with the per-table
+// report. An I/O failure — unreadable bytes rather than a failed checksum
+// — aborts with 500.
+func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	reports, err := s.eng.Scrub(r.Context(), -1)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := ScrubResponse{Healthy: true}
+	for _, tr := range reports {
+		t := TableScrubResponse{
+			Table:    tr.Table,
+			Blocks:   tr.Report.Blocks,
+			Verified: tr.Report.Verified,
+			Skipped:  tr.Report.Skipped,
+		}
+		for _, ce := range tr.Report.Corrupt {
+			t.Corrupt = append(t.Corrupt, ScrubErrorResponse{
+				Block: ce.BlockID,
+				Path:  ce.Path,
+				Error: ce.Err.Error(),
+			})
+			resp.Healthy = false
+		}
+		resp.DurationMS += float64(tr.Report.Duration.Microseconds()) / 1000
+		resp.Tables = append(resp.Tables, t)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -109,6 +109,13 @@ func EstimateContext(ctx context.Context, s *block.Store, cfg core.Config, budge
 	if s.TotalLen() == 0 {
 		return Result{}, core.ErrEmptyStore
 	}
+	// A time-bounded run never degrades: budget truncation and quarantine
+	// would compound into coverage no CI can describe, so a damaged store is
+	// refused outright — even when cfg.AllowPartial is set.
+	if ids := s.QuarantinedIDs(); len(ids) > 0 {
+		return Result{}, &core.QuarantinedError{
+			Blocks: ids, CoveredRows: s.CoveredLen(), TotalRows: s.TotalLen()}
+	}
 	start := time.Now()
 
 	// Calibration burst: draw batched sample bursts for a slice of the

@@ -146,7 +146,9 @@ func OpenFilesMode(mode OpenMode, paths ...string) (*Store, error) {
 }
 
 // WriteFiles writes data as b block files named <prefix>.000… in the ISLB
-// v2 format (summary footers included) and returns a store over them.
+// v3 format (summary footers and payload checksums included) and returns a
+// store over them. Files land atomically: a crash mid-write leaves either
+// the old file or nothing, never a torn block.
 func WriteFiles(prefix string, data []float64, b int) (*Store, error) {
 	return block.WritePartitioned(prefix, data, b)
 }
@@ -281,9 +283,9 @@ func BuildGroups(column string, rows []GroupRow, blocksPerGroup int) (*GroupStor
 	return group.BuildColumn(column, rows, blocksPerGroup)
 }
 
-// WriteGroupFiles writes rows as per-group partitioned ISLB v2 block files
-// under dir plus a manifest.json describing them, and returns the manifest
-// path. OpenGroupManifest (or islacli/islaserv -loadgroup) serves grouped
+// WriteGroupFiles writes rows as per-group partitioned ISLB block files
+// (current format, with summary footers and payload checksums) under dir
+// plus a manifest.json describing them, and returns the manifest path. OpenGroupManifest (or islacli/islaserv -loadgroup) serves grouped
 // queries from those files — including summary-served pre-estimation,
 // since every block carries a persisted summary footer.
 func WriteGroupFiles(dir, column string, rows []GroupRow, blocksPerGroup int) (string, error) {
@@ -411,3 +413,41 @@ func (db *DB) SetWorkers(n int) { db.engine.SetWorkers(n) }
 // sampled. Zero (the default) means group.DefaultExactThreshold (2000);
 // negative disables the fallback so every group runs the estimator.
 func (db *DB) SetGroupExactThreshold(n int64) { db.engine.SetGroupExactThreshold(n) }
+
+// CorruptBlockError reports a block whose bytes fail integrity checking:
+// a torn header, an impossible size, a footer or payload checksum
+// mismatch, or an access to a quarantined block.
+type CorruptBlockError = block.CorruptBlockError
+
+// QuarantinedError reports a query refused because quarantined blocks
+// make the full answer unavailable (and degradation is off, or the
+// statement cannot degrade soundly).
+type QuarantinedError = core.QuarantinedError
+
+// ScrubReport is one store's integrity-scrub outcome: blocks verified,
+// blocks skipped (no payload checksum to check), and what failed.
+type ScrubReport = block.ScrubReport
+
+// TableScrub is one table's report from DB.Scrub.
+type TableScrub = engine.TableScrub
+
+// Scrub verifies every registered table's payload checksums against the
+// on-disk bytes and quarantines whatever fails, returning per-table
+// reports. Quarantined blocks stop answering queries: statements refuse
+// with *QuarantinedError unless SetAllowPartial is on and the statement
+// can degrade soundly. workers bounds the scrub's concurrency (0
+// sequential, negative one per CPU).
+func (db *DB) Scrub(ctx context.Context, workers int) ([]TableScrub, error) {
+	return db.engine.Scrub(ctx, workers)
+}
+
+// SetAllowPartial switches degraded answering for tables with quarantined
+// blocks: unfiltered ISLA estimates run over the intact blocks and report
+// the coverage in Result.Partial, instead of refusing. Statements whose
+// statistics cannot be rescaled soundly (filters, baseline methods,
+// time-bounded runs) still refuse. Safe to call while queries execute.
+func (db *DB) SetAllowPartial(v bool) { db.engine.SetAllowPartial(v) }
+
+// QuarantinedBlocks maps each damaged table to its quarantined block ids;
+// the map is empty while every table is healthy.
+func (db *DB) QuarantinedBlocks() map[string][]int { return db.engine.QuarantinedBlocks() }
