@@ -27,13 +27,14 @@ import (
 )
 
 func main() {
-	var gens, loads, texts, csvs, groupGens, groupLoads multiFlag
+	var gens, loads, texts, csvs, groupGens, groupLoads, shardLoads multiFlag
 	flag.Var(&gens, "gen", "synthetic table spec name=dist:key=val,... (repeatable)")
 	flag.Var(&loads, "load", "load block files name=prefix (repeatable)")
 	flag.Var(&texts, "txt", "load one-value-per-line text name=path (repeatable)")
 	flag.Var(&csvs, "csv", "load CSV column name=path:column (repeatable)")
 	flag.Var(&groupGens, "gengroup", "synthetic grouped table spec name=column;key:dist:params;... (repeatable)")
 	flag.Var(&groupLoads, "loadgroup", "load a grouped table from its manifest name=manifest.json (repeatable)")
+	flag.Var(&shardLoads, "shards", "serve a sharded table from its shard manifest name=shards.json; blocks stay on the islaworkers (repeatable)")
 	clusterAddrs := flag.String("cluster", "", "comma-separated islaworker addresses; runs the query on the cluster as table 'cluster'")
 	callTimeout := flag.Duration("call-timeout", 0, "per-RPC deadline for -cluster calls (0 = default, negative disables)")
 	rpcRetries := flag.Int("rpc-retries", 0, "retries per -cluster call on transient failure before failing over (0 = default, negative disables)")
@@ -97,6 +98,19 @@ func main() {
 			fatal(err)
 		}
 		defer g.Close() // release the block mappings/handles on exit
+	}
+	for _, sl := range shardLoads {
+		fault := isla.ClusterConfig{
+			CallTimeout:  *callTimeout,
+			MaxRetries:   *rpcRetries,
+			BaseBackoff:  *rpcBackoff,
+			AllowPartial: *allowPartial,
+		}
+		st, err := registerShards(db, sl, fault)
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close() // release the worker connections on exit
 	}
 	for _, tl := range texts {
 		if err := registerText(db, tl); err != nil {
@@ -231,6 +245,26 @@ func registerGroupLoad(db *isla.DB, spec string, mode isla.OpenMode) (*isla.Grou
 	}
 	db.RegisterGrouped(name, g)
 	return g, nil
+}
+
+// registerShards opens a sharded table from its shard manifest — dialing
+// and validating every worker it names — and registers it so the full
+// query surface (WHERE, GROUP BY, plan cache) scatters to the shards.
+func registerShards(db *isla.DB, spec string, fault isla.ClusterConfig) (*isla.ShardTable, error) {
+	name, path, ok := strings.Cut(spec, "=")
+	if !ok {
+		return nil, fmt.Errorf("islacli: bad -shards %q (want name=shards.json)", spec)
+	}
+	man, err := isla.LoadShardManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := isla.OpenShardTable(man, db.BaseConfig(), fault)
+	if err != nil {
+		return nil, err
+	}
+	db.RegisterSharded(name, st)
+	return st, nil
 }
 
 // registerGen materializes a "name=dist:key=val,..." spec (the syntax

@@ -37,6 +37,8 @@ import (
 	"time"
 
 	"isla/internal/block"
+	"isla/internal/cluster"
+	"isla/internal/core"
 	"isla/internal/engine"
 	"isla/internal/group"
 	"isla/internal/ingest"
@@ -46,13 +48,14 @@ import (
 )
 
 func main() {
-	var gens, texts, csvs, loads, groupGens, groupLoads multiFlag
+	var gens, texts, csvs, loads, groupGens, groupLoads, shardLoads multiFlag
 	flag.Var(&gens, "gen", "synthetic table spec name=dist:key=val,... (repeatable)")
 	flag.Var(&texts, "txt", "load one-value-per-line text name=path (repeatable)")
 	flag.Var(&csvs, "csv", "load CSV column name=path:column (repeatable)")
 	flag.Var(&loads, "load", "serve binary block files name=prefix (expects prefix.000…; repeatable)")
 	flag.Var(&groupGens, "gengroup", "synthetic grouped table spec name=column;key:dist:params;... (repeatable)")
 	flag.Var(&groupLoads, "loadgroup", "serve a grouped table from its manifest name=manifest.json (repeatable)")
+	flag.Var(&shardLoads, "shards", "serve a sharded table from its shard manifest name=shards.json; blocks stay on the islaworkers (repeatable)")
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		blocks   = flag.Int("blocks", 10, "block count for -txt/-csv tables")
@@ -75,7 +78,7 @@ func main() {
 	}
 
 	catalog := engine.NewCatalog()
-	stores, err := loadTables(catalog, gens, texts, csvs, loads, groupGens, groupLoads, *blocks, mode)
+	stores, err := loadTables(catalog, gens, texts, csvs, loads, groupGens, groupLoads, shardLoads, *blocks, mode)
 	if err != nil {
 		fatal(err)
 	}
@@ -151,7 +154,7 @@ func main() {
 // loadTables registers every table spec into the catalog and returns the
 // file-backed stores (plain and grouped) so the caller can release their
 // mappings/handles on shutdown.
-func loadTables(catalog *engine.Catalog, gens, texts, csvs, loads, groupGens, groupLoads []string, blocks int, mode block.OpenMode) ([]io.Closer, error) {
+func loadTables(catalog *engine.Catalog, gens, texts, csvs, loads, groupGens, groupLoads, shardLoads []string, blocks int, mode block.OpenMode) ([]io.Closer, error) {
 	for _, g := range gens {
 		if err := registerGen(catalog, g); err != nil {
 			return nil, err
@@ -202,6 +205,22 @@ func loadTables(catalog *engine.Catalog, gens, texts, csvs, loads, groupGens, gr
 		}
 		stores = append(stores, g)
 		catalog.RegisterGrouped(name, g)
+	}
+	for _, sl := range shardLoads {
+		name, path, ok := strings.Cut(sl, "=")
+		if !ok {
+			return stores, fmt.Errorf("islaserv: bad -shards %q (want name=shards.json)", sl)
+		}
+		man, err := cluster.LoadShardManifest(path)
+		if err != nil {
+			return stores, err
+		}
+		st, err := cluster.NewShardTable(man, core.DefaultConfig(), cluster.Config{}, nil)
+		if err != nil {
+			return stores, err
+		}
+		stores = append(stores, st)
+		catalog.RegisterSharded(name, st)
 	}
 	for _, ld := range loads {
 		name, prefix, ok := strings.Cut(ld, "=")

@@ -36,6 +36,8 @@ func main() {
 		gen      = flag.String("gen", "", "synthetic spec dist:key=val,... (demo mode)")
 		baseID   = flag.Int("base-id", 0, "first block id served by this worker")
 		openMode = flag.String("open", "auto", "block-file access for -load: mmap, pread or auto")
+		manifest = flag.String("manifest", "", "shard manifest to validate the served blocks against before listening")
+		shAddr   = flag.String("shard-addr", "", "this worker's address in -manifest (defaults to -listen)")
 	)
 	flag.Parse()
 
@@ -74,6 +76,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *manifest != "" {
+		addr := *shAddr
+		if addr == "" {
+			addr = *listen
+		}
+		if err := validateManifest(*manifest, addr, blocks); err != nil {
+			fmt.Fprintf(os.Stderr, "islaworker: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	w := isla.NewWorker(blocks...)
 	l, err := w.ListenAndServe(*listen)
 	if err != nil {
@@ -106,6 +119,40 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// validateManifest checks the loaded blocks against this worker's entry in
+// the shard manifest: every assigned block must be present at the recorded
+// length. Failing fast here beats being rejected by the coordinator later.
+func validateManifest(path, addr string, blocks []isla.Block) error {
+	man, err := isla.LoadShardManifest(path)
+	if err != nil {
+		return err
+	}
+	var entry *isla.ShardEntry
+	for i := range man.Shards {
+		if man.Shards[i].Addr == addr {
+			entry = &man.Shards[i]
+			break
+		}
+	}
+	if entry == nil {
+		return fmt.Errorf("address %q not in shard manifest %s", addr, path)
+	}
+	have := make(map[int]int64, len(blocks))
+	for _, b := range blocks {
+		have[b.ID()] = b.Len()
+	}
+	for i, id := range entry.Blocks {
+		l, ok := have[id]
+		if !ok {
+			return fmt.Errorf("manifest assigns block %d to %s, but it is not loaded", id, addr)
+		}
+		if l != entry.Lens[i] {
+			return fmt.Errorf("block %d has %d rows, manifest records %d", id, l, entry.Lens[i])
+		}
+	}
+	return nil
 }
 
 // genStore parses "dist:key=val,..." into re-identified blocks.

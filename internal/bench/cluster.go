@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"isla/internal/block"
+	"isla/internal/cluster"
+	"isla/internal/core"
+	"isla/internal/engine"
+	"isla/internal/workload"
+)
+
+// ClusterStat is one serving topology's outcome for the scatter/gather
+// benchmark: the same pushed-down filtered query timed on a local store
+// and on sharded tables of 1, 2 and 4 in-process workers (loopback TCP,
+// so RPC serialization is in the wall time). BitIdentical records whether
+// the sharded answer matched the single-node run bit for bit — the
+// determinism contract the equivalence battery enforces, measured here on
+// the benchmark workload too.
+type ClusterStat struct {
+	Topology     string  `json:"topology"` // "local" or "N-shards"
+	Shards       int     `json:"shards"`
+	ColdWallMS   float64 `json:"cold_wall_ms"` // pilot + calculation
+	WarmWallMS   float64 `json:"warm_wall_ms"` // cached plan, calculation only
+	Samples      int64   `json:"samples"`
+	Value        float64 `json:"value"`
+	BitIdentical bool    `json:"bit_identical"`
+}
+
+// Cluster times one filtered AVG — the full pushed-down pipeline: filter
+// pilot, HT plan freeze, per-shard moment merge — across serving
+// topologies. Every engine runs the same SQL with the same seed; the
+// per-block seed schedule depends only on block order, so every row must
+// report bit_identical=true.
+func Cluster(o Options) ([]ClusterStat, error) {
+	o = o.Defaults()
+	s, _, err := workload.Normal(100, 20, o.N, o.Blocks, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sql := "SELECT AVG(v) FROM t WHERE v >= 80 AND v <= 130 WITH PRECISION 0.5 SEED 7"
+
+	run := func(eng *engine.Engine) (cold, warm float64, res engine.Result, err error) {
+		start := time.Now()
+		res, err = eng.ExecuteSQL(sql)
+		if err != nil {
+			return 0, 0, res, err
+		}
+		cold = msSince(start)
+		warm = cold
+		for i := 0; i < o.Runs; i++ {
+			start = time.Now()
+			again, err := eng.ExecuteSQL(sql)
+			if err != nil {
+				return 0, 0, res, err
+			}
+			if again.Value != res.Value {
+				return 0, 0, res, fmt.Errorf("bench: warm run moved the answer")
+			}
+			if w := msSince(start); w < warm {
+				warm = w
+			}
+		}
+		return cold, warm, res, nil
+	}
+
+	newEngine := func(register func(*engine.Catalog)) *engine.Engine {
+		cat := engine.NewCatalog()
+		register(cat)
+		eng := engine.New(cat)
+		eng.EnablePlanCache(16)
+		return eng
+	}
+
+	local := newEngine(func(cat *engine.Catalog) { cat.Register("t", s) })
+	cold, warm, want, err := run(local)
+	if err != nil {
+		return nil, err
+	}
+	out := []ClusterStat{{
+		Topology: "local", ColdWallMS: cold, WarmWallMS: warm,
+		Samples: want.Samples, Value: want.Value, BitIdentical: true,
+	}}
+
+	for _, shards := range []int{1, 2, 4} {
+		st, cleanup, err := shardTable(s, shards)
+		if err != nil {
+			return nil, err
+		}
+		eng := newEngine(func(cat *engine.Catalog) { cat.RegisterSharded("t", st) })
+		cold, warm, got, err := run(eng)
+		cleanup()
+		if err != nil {
+			return nil, fmt.Errorf("bench: %d shards: %w", shards, err)
+		}
+		out = append(out, ClusterStat{
+			Topology: fmt.Sprintf("%d-shards", shards), Shards: shards,
+			ColdWallMS: cold, WarmWallMS: warm,
+			Samples: got.Samples, Value: got.Value,
+			BitIdentical: got.Value == want.Value && got.Samples == want.Samples,
+		})
+	}
+	return out, nil
+}
+
+// shardTable splits the store's blocks contiguously over n in-process
+// workers and opens the manifested table against them.
+func shardTable(s *block.Store, n int) (*cluster.ShardTable, func(), error) {
+	blocks := s.Blocks()
+	var closers []func()
+	cleanup := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+	man := &cluster.ShardManifest{Version: 1}
+	per := (len(blocks) + n - 1) / n
+	for i := 0; i < len(blocks); i += per {
+		end := min(i+per, len(blocks))
+		sub := blocks[i:end]
+		w := cluster.NewWorker(sub...)
+		l, err := w.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		closers = append(closers, func() { l.Close(); w.Close() })
+		e := cluster.ShardEntry{Addr: l.Addr().String()}
+		for _, b := range sub {
+			e.Blocks = append(e.Blocks, b.ID())
+			e.Lens = append(e.Lens, b.Len())
+		}
+		man.Shards = append(man.Shards, e)
+	}
+	st, err := cluster.NewShardTable(man, core.DefaultConfig(), cluster.Config{}, nil)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	closers = append(closers, func() { st.Close() })
+	return st, cleanup, nil
+}
+
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
+}

@@ -48,6 +48,10 @@ type ModesReport struct {
 	// (client-observed latency and outcome counts per traffic class); see
 	// Serving.
 	Serving []ServingStat `json:"serving"`
+	// Cluster is the sharded scatter/gather comparison: one pushed-down
+	// filtered query timed local vs 1/2/4 shards with bit-identity
+	// checked per topology; see Cluster.
+	Cluster []ClusterStat `json:"cluster"`
 }
 
 // Modes runs all five execution modes — batch, parallel, online,
@@ -147,6 +151,10 @@ func Modes(o Options) (*ModesReport, error) {
 		return nil, err
 	}
 	rep.Serving, err = Serving(o)
+	if err != nil {
+		return nil, err
+	}
+	rep.Cluster, err = Cluster(o)
 	if err != nil {
 		return nil, err
 	}

@@ -334,35 +334,47 @@ func (s *Store) Quotas(m int64) []int64 {
 		return nil
 	}
 	quar := s.quarantineSet()
-	covered := s.total
-	if quar != nil {
-		covered = 0
-		for _, b := range s.blocks {
-			if !quar[b.ID()] {
-				covered += b.Len()
-			}
-		}
-		if covered == 0 {
-			return nil
+	lens := make([]int64, len(s.blocks))
+	for i, b := range s.blocks {
+		if !quar[b.ID()] {
+			lens[i] = b.Len()
 		}
 	}
+	return QuotasFor(lens, m)
+}
+
+// QuotasFor is the pure allocation core of Store.Quotas: m draws spread
+// proportionally over blocks of the given lengths, quota_i = ⌊m·len_i/M⌋
+// with the rounding slack absorbed by the last non-empty block. Callers
+// that must exclude blocks (quarantine, shard loss) zero their lengths
+// first. It returns nil when every length is zero or m <= 0. The remote
+// shard tier uses it directly, so a coordinator allocates bit-identically
+// to a local store with the same block lengths.
+func QuotasFor(lens []int64, m int64) []int64 {
+	var total int64
+	for _, l := range lens {
+		total += l
+	}
+	if total == 0 || m <= 0 {
+		return nil
+	}
 	last := -1
-	for i, b := range s.blocks {
-		if b.Len() > 0 && !quar[b.ID()] {
+	for i, l := range lens {
+		if l > 0 {
 			last = i
 		}
 	}
-	quotas := make([]int64, len(s.blocks))
+	quotas := make([]int64, len(lens))
 	remaining := m
-	for i, b := range s.blocks {
-		if b.Len() == 0 || quar[b.ID()] {
+	for i, l := range lens {
+		if l == 0 {
 			continue
 		}
 		var quota int64
 		if i == last {
 			quota = remaining
 		} else {
-			quota = m * b.Len() / covered
+			quota = m * l / total
 			if quota > remaining {
 				quota = remaining
 			}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -11,6 +12,11 @@ import (
 	"isla/internal/modulate"
 	"isla/internal/stats"
 )
+
+// ErrClosed is returned by Connect on a coordinator whose Close already
+// ran: its probe loop is stopped and its worker slots are gone, so a late
+// registration would strand a live client in a dead coordinator.
+var ErrClosed = errors.New("cluster: coordinator is closed")
 
 // Coordinator drives an ISLA aggregation across RPC workers. It owns the
 // Pre-estimation and Summarization modules; workers only execute the
@@ -62,8 +68,27 @@ func NewCoordinator(cfg core.Config) *Coordinator {
 // Connect dials a worker and registers its blocks. Safe to call for
 // several workers, including concurrently with a running query. A block id
 // already registered by an earlier worker makes this worker a replica of
-// that block — replicas must agree on the block's length.
+// that block — replicas must agree on the block's length. A worker whose
+// inventory lists the same block id twice is rejected: registering the
+// duplicate would make the worker its own replica, so failover would
+// "retry" the very worker that just died. Connect on a closed coordinator
+// fails with ErrClosed.
 func (c *Coordinator) Connect(addr string) error {
+	return c.connect(addr, nil)
+}
+
+// connect dials addr, validates its inventory and registers its blocks.
+// want, when non-nil, is the manifest-driven path: the worker must serve
+// every wanted block id at the wanted length, and only those blocks are
+// registered (extra blocks the worker happens to hold stay out of the
+// table). Entries in want follow the order of its ids slice.
+func (c *Coordinator) connect(addr string, want *ShardEntry) error {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
 	client, err := c.dial(addr)
 	if err != nil {
 		return fmt.Errorf("cluster: dialing %s: %w", addr, err)
@@ -73,25 +98,69 @@ func (c *Coordinator) Connect(addr string) error {
 		client.Close()
 		return fmt.Errorf("cluster: querying %s: %w", addr, err)
 	}
+	if len(info.BlockIDs) != len(info.Lens) {
+		client.Close()
+		return fmt.Errorf("cluster: malformed inventory from %s: %d block ids, %d lengths",
+			addr, len(info.BlockIDs), len(info.Lens))
+	}
+	// Validate within the single reply first: an intra-reply duplicate must
+	// not survive to registration (blockHome[id] = [idx, idx] would make
+	// the worker its own failover target), and it must not dodge the
+	// replica length check just because blockLens is only written below.
+	serves := make(map[int]int64, len(info.BlockIDs))
+	for i, id := range info.BlockIDs {
+		if prev, dup := serves[id]; dup {
+			client.Close()
+			if prev != info.Lens[i] {
+				return fmt.Errorf("cluster: %s lists block %d twice with conflicting lengths %d and %d",
+					addr, id, prev, info.Lens[i])
+			}
+			return fmt.Errorf("cluster: %s lists block %d twice — a worker cannot be its own replica", addr, id)
+		}
+		serves[id] = info.Lens[i]
+	}
+	ids, lens := info.BlockIDs, info.Lens
+	if want != nil {
+		for i, id := range want.Blocks {
+			have, ok := serves[id]
+			if !ok {
+				client.Close()
+				return fmt.Errorf("cluster: %s does not serve block %d assigned to it by the shard manifest", addr, id)
+			}
+			if have != want.Lens[i] {
+				client.Close()
+				return fmt.Errorf("cluster: manifest mismatch for block %d: %s serves %d rows, manifest records %d",
+					id, addr, have, want.Lens[i])
+			}
+		}
+		ids, lens = want.Blocks, want.Lens
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for i, id := range info.BlockIDs {
-		if have, ok := c.blockLens[id]; ok && have != info.Lens[i] {
+	if c.closed {
+		client.Close()
+		return ErrClosed
+	}
+	for i, id := range ids {
+		if have, ok := c.blockLens[id]; ok && have != lens[i] {
 			client.Close()
 			return fmt.Errorf("cluster: replica mismatch for block %d: %s serves %d rows, registered %d",
-				id, addr, info.Lens[i], have)
+				id, addr, lens[i], have)
 		}
 	}
 	idx := len(c.workers)
 	c.workers = append(c.workers, &workerConn{addr: addr, client: client})
-	for i, id := range info.BlockIDs {
+	for i, id := range ids {
 		c.blockHome[id] = append(c.blockHome[id], idx)
-		c.blockLens[id] = info.Lens[i]
+		c.blockLens[id] = lens[i]
 	}
 	return nil
 }
 
-// Close closes every worker connection and stops background health probes.
+// Close closes every worker connection, stops background health probes and
+// clears the registration state, so a closed coordinator reports zero rows
+// and a post-Close Run fails with core.ErrEmptyStore instead of
+// dispatching into an empty worker set.
 func (c *Coordinator) Close() error {
 	c.mu.Lock()
 	if !c.closed {
@@ -100,6 +169,8 @@ func (c *Coordinator) Close() error {
 	}
 	workers := c.workers
 	c.workers = nil
+	c.blockHome = make(map[int][]int)
+	c.blockLens = make(map[int]int64)
 	c.mu.Unlock()
 	var first error
 	for _, w := range workers {

@@ -1,0 +1,118 @@
+package cluster
+
+// Regression tests for three coordinator lifecycle bugs: Connect accepted
+// workers after Close (stranding live clients in a dead coordinator), a
+// worker listing the same block id twice in one Info reply registered as
+// its own replica (dodging the cross-worker length validation), and Close
+// left blockHome/blockLens populated so a post-Close Run planned against
+// workers that no longer exist.
+
+import (
+	"errors"
+	"net"
+	"net/rpc"
+	"strings"
+	"testing"
+
+	"isla/internal/core"
+)
+
+// serveStubWorker serves svc under the "Worker" RPC name on a loopback
+// listener — for replies a real Worker cannot produce.
+func serveStubWorker(t *testing.T, svc any) string {
+	t.Helper()
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", svc); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	t.Cleanup(func() { l.Close() })
+	return l.Addr().String()
+}
+
+// dupInfoWorker answers Info with a scripted (possibly duplicated)
+// inventory.
+type dupInfoWorker struct {
+	ids  []int
+	lens []int64
+}
+
+func (d *dupInfoWorker) Info(_ struct{}, rep *InfoReply) error {
+	rep.BlockIDs = append([]int(nil), d.ids...)
+	rep.Lens = append([]int64(nil), d.lens...)
+	return nil
+}
+
+func TestConnectAfterCloseRejected(t *testing.T) {
+	addr := startWorker(t, normalBlocks(t, 1000, 2, 3)...)
+	coord := NewCoordinator(core.DefaultConfig())
+	if err := coord.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	coord.Close()
+	err := coord.Connect(addr)
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("Connect after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseClearsBlockState(t *testing.T) {
+	addr := startWorker(t, normalBlocks(t, 1000, 2, 4)...)
+	coord := NewCoordinator(core.DefaultConfig())
+	if err := coord.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	if coord.TotalLen() != 1000 {
+		t.Fatalf("total = %d before Close", coord.TotalLen())
+	}
+	coord.Close()
+	if got := coord.TotalLen(); got != 0 {
+		t.Fatalf("TotalLen after Close = %d, want 0", got)
+	}
+	if _, err := coord.Run(); err != core.ErrEmptyStore {
+		t.Fatalf("Run after Close = %v, want ErrEmptyStore", err)
+	}
+}
+
+func TestConnectRejectsIntraReplyDuplicate(t *testing.T) {
+	cases := []struct {
+		name string
+		ids  []int
+		lens []int64
+		want string
+	}{
+		{"same-length", []int{0, 1, 0}, []int64{10, 20, 10}, "cannot be its own replica"},
+		{"conflicting-lengths", []int{0, 1, 0}, []int64{10, 20, 30}, "conflicting lengths"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addr := serveStubWorker(t, &dupInfoWorker{ids: tc.ids, lens: tc.lens})
+			coord := NewCoordinator(core.DefaultConfig())
+			defer coord.Close()
+			err := coord.Connect(addr)
+			if err == nil {
+				t.Fatal("duplicate inventory accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q in it", err, tc.want)
+			}
+			// Nothing may have registered: the coordinator must still be
+			// an empty store.
+			if coord.TotalLen() != 0 {
+				t.Fatalf("rejected worker registered %d rows", coord.TotalLen())
+			}
+		})
+	}
+}

@@ -1,0 +1,276 @@
+// Sharded scatter/gather serving: a ShardTable connects workers per a
+// ShardManifest and exposes the core.Executor surface, so the engine
+// serves a sharded table through the same query path, plan cache and
+// degradation policy as a local one. Filtered (interval, Horvitz–Thompson
+// accounting), grouped and frozen-pilot execution are pushed down to the
+// shard that owns the blocks — workers return per-block power sums, exact
+// moments or accepted values, and the coordinator merges them in block
+// order, so for a given seed the answers are bit-identical to the
+// single-node run. Worker loss re-dispatches through the replica/failover
+// ladder of the transport layer.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"isla/internal/core"
+	"isla/internal/leverage"
+	"isla/internal/stats"
+)
+
+// ShardTable is a sharded table: a coordinator whose workers were admitted
+// and validated against a shard manifest. The zero value is not usable;
+// construct with NewShardTable. It implements the engine's Sharded
+// interface: View is the whole-table executor, Group the per-group ones.
+type ShardTable struct {
+	c   *Coordinator
+	man *ShardManifest
+
+	global *ShardView
+	keys   []string // group keys in manifest order
+	groups map[string]*ShardView
+}
+
+// ShardView is one queryable block set of a sharded table — the whole
+// table or a single group — implementing core.Executor over the
+// coordinator's transport. The view's block order is fixed at
+// construction; quota allocation, seed derivation and merge order all key
+// off it, which is the determinism contract.
+type ShardView struct {
+	c    *Coordinator
+	ids  []int
+	lens []int64
+	tot  int64
+	sum  uint64
+}
+
+// NewShardTable validates the manifest, dials every shard entry and
+// returns the queryable table. Each worker's Info inventory is validated
+// against its manifest entry — every assigned block must be served at the
+// recorded length — and only the assigned blocks are registered, so the
+// replica topology is exactly the manifest's. cfg is the estimator
+// configuration (seed, precision defaults); fault tunes the transport and
+// its AllowPartial degradation policy; dial overrides the client factory
+// (nil selects TCP) — the hook the fault-injection harness uses.
+func NewShardTable(man *ShardManifest, cfg core.Config, fault Config, dial DialFunc) (*ShardTable, error) {
+	if err := man.Validate(); err != nil {
+		return nil, err
+	}
+	c := NewCoordinator(cfg)
+	c.Fault = fault
+	c.DialClient = dial
+	for i := range man.Shards {
+		if err := c.connect(man.Shards[i].Addr, &man.Shards[i]); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return newShardTable(c, man), nil
+}
+
+// newShardTable builds the views over an already-connected coordinator.
+func newShardTable(c *Coordinator, man *ShardManifest) *ShardTable {
+	ids, lens := man.BlockIDs()
+	sum := man.Checksum()
+	st := &ShardTable{
+		c:      c,
+		man:    man,
+		global: newShardView(c, ids, lens, sum),
+		groups: make(map[string]*ShardView, len(man.Groups)),
+	}
+	byID := make(map[int]int64, len(ids))
+	for i, id := range ids {
+		byID[id] = lens[i]
+	}
+	for _, g := range man.Groups {
+		glens := make([]int64, len(g.Blocks))
+		for i, id := range g.Blocks {
+			glens[i] = byID[id]
+		}
+		st.keys = append(st.keys, g.Key)
+		st.groups[g.Key] = newShardView(c, g.Blocks, glens, sum)
+	}
+	sort.Strings(st.keys)
+	return st
+}
+
+func newShardView(c *Coordinator, ids []int, lens []int64, sum uint64) *ShardView {
+	var tot int64
+	for _, l := range lens {
+		tot += l
+	}
+	return &ShardView{c: c, ids: ids, lens: lens, tot: tot, sum: sum}
+}
+
+// Manifest returns the manifest the table was opened with.
+func (st *ShardTable) Manifest() *ShardManifest { return st.man }
+
+// Coordinator exposes the underlying coordinator (health, direct runs).
+func (st *ShardTable) Coordinator() *Coordinator { return st.c }
+
+// Close shuts down the coordinator and its worker connections.
+func (st *ShardTable) Close() error { return st.c.Close() }
+
+// Rows returns the table's row count (replicas counted once).
+func (st *ShardTable) Rows() int64 { return st.global.tot }
+
+// Checksum returns the manifest fingerprint the engine keys plan-cache
+// entries by.
+func (st *ShardTable) Checksum() uint64 { return st.global.sum }
+
+// Executor returns the whole-table execution surface.
+func (st *ShardTable) Executor() core.Executor { return st.global }
+
+// View returns the whole-table view.
+func (st *ShardTable) View() *ShardView { return st.global }
+
+// GroupColumn returns the manifest's grouped column name ("" when
+// ungrouped).
+func (st *ShardTable) GroupColumn() string { return st.man.Column }
+
+// GroupKeys returns the group keys, sorted; empty for ungrouped tables.
+func (st *ShardTable) GroupKeys() []string { return append([]string(nil), st.keys...) }
+
+// GroupExecutor returns the execution surface of one group.
+func (st *ShardTable) GroupExecutor(key string) (core.Executor, error) {
+	v, ok := st.groups[key]
+	if !ok {
+		return nil, fmt.Errorf("cluster: no group %q in the shard manifest", key)
+	}
+	return v, nil
+}
+
+// --- ShardView: core.Executor over the transport ---
+
+// NumBlocks implements core.Executor.
+func (v *ShardView) NumBlocks() int { return len(v.ids) }
+
+// TotalLen implements core.Executor.
+func (v *ShardView) TotalLen() int64 { return v.tot }
+
+// SummaryChecksum implements core.Executor with the manifest fingerprint.
+func (v *ShardView) SummaryChecksum() uint64 { return v.sum }
+
+// source binds one query's fault accounting to the view. The pilot and
+// filtered phases force AllowPartial off regardless of the transport
+// configuration: a lost pilot block would silently change the pooled
+// statistics (no bit-identity claim could survive), and Horvitz–Thompson
+// filtered answers scale by the full row count, so partial coverage would
+// bias them. Only the unfiltered calculation phase degrades — the same
+// accounting the coordinator's own Run applies.
+func (v *ShardView) source(partialOK bool) *shardSource {
+	q := v.c.newQuery()
+	if !partialOK {
+		q.cfg.AllowPartial = false
+	}
+	return &shardSource{v: v, q: q}
+}
+
+// FreezePilot implements core.Executor.
+func (v *ShardView) FreezePilot(ctx context.Context, cfg core.Config) (core.FrozenPilot, error) {
+	return core.FreezePilotRemote(ctx, v.source(false), cfg)
+}
+
+// EstimateFrozen implements core.Executor.
+func (v *ShardView) EstimateFrozen(ctx context.Context, cfg core.Config, fp core.FrozenPilot) (core.Result, error) {
+	return core.EstimateFrozenRemote(ctx, v.source(true), cfg, fp)
+}
+
+// FreezeFilterPilot implements core.Executor.
+func (v *ShardView) FreezeFilterPilot(ctx context.Context, cfg core.Config, f core.Filter) (core.FilterPilot, error) {
+	return core.FreezeFilterPilotRemote(ctx, v.source(false), cfg, f)
+}
+
+// EstimateFilteredFrozen implements core.Executor.
+func (v *ShardView) EstimateFilteredFrozen(ctx context.Context, cfg core.Config, f core.Filter, fp core.FilterPilot) (core.FilteredResult, error) {
+	return core.EstimateFilteredFrozenRemote(ctx, v.source(false), cfg, f, fp)
+}
+
+// shardSource implements core.BlockSource for one query over one view:
+// every per-block operation goes through callBlock's fault-tolerance
+// ladder (deadline, retries, replica failover) under the query's shared
+// retry budget and loss accounting.
+type shardSource struct {
+	v *ShardView
+	q *qstate
+}
+
+func (s *shardSource) NumBlocks() int       { return len(s.v.ids) }
+func (s *shardSource) TotalLen() int64      { return s.v.tot }
+func (s *shardSource) BlockLen(i int) int64 { return s.v.lens[i] }
+func (s *shardSource) BlockID(i int) int    { return s.v.ids[i] }
+
+// PilotBlock implements core.BlockSource via Worker.PilotState.
+func (s *shardSource) PilotBlock(ctx context.Context, i int, size int64, state stats.RNGState) (stats.Moments, stats.RNGState, error) {
+	id := s.v.ids[i]
+	args := PilotStateArgs{BlockID: id, SampleSize: size, S0: state.S0, S1: state.S1}
+	var rep PilotStateReply
+	if err := s.v.c.callBlock(ctx, s.q, id, "Worker.PilotState", args, &rep); err != nil {
+		return stats.Moments{}, stats.RNGState{}, err
+	}
+	m := stats.RebuildMoments(rep.Count, rep.Mean, rep.M2, rep.Min, rep.Max)
+	return m, stats.RNGState{S0: rep.EndS0, S1: rep.EndS1}, nil
+}
+
+// FilterPilotBlock implements core.BlockSource via Worker.FilterValues.
+func (s *shardSource) FilterPilotBlock(ctx context.Context, i int, seed uint64, q int64, f core.Filter) ([]float64, error) {
+	id := s.v.ids[i]
+	args := FilterArgs{BlockID: id, SampleSize: q, Seed: seed, Lo: f.Lo, Hi: f.Hi}
+	var rep FilterValuesReply
+	if err := s.v.c.callBlock(ctx, s.q, id, "Worker.FilterValues", args, &rep); err != nil {
+		return nil, err
+	}
+	return rep.Values, nil
+}
+
+// FilterCalcBlock implements core.BlockSource via Worker.FilterSample.
+func (s *shardSource) FilterCalcBlock(ctx context.Context, i int, seed uint64, q int64, f core.Filter) (int64, stats.Moments, error) {
+	id := s.v.ids[i]
+	args := FilterArgs{BlockID: id, SampleSize: q, Seed: seed, Lo: f.Lo, Hi: f.Hi}
+	var rep FilterSampleReply
+	if err := s.v.c.callBlock(ctx, s.q, id, "Worker.FilterSample", args, &rep); err != nil {
+		return 0, stats.Moments{}, err
+	}
+	return rep.Accepted, stats.RebuildMoments(rep.Count, rep.Mean, rep.M2, rep.Min, rep.Max), nil
+}
+
+// CalcBlock implements core.BlockSource via Worker.Sample: Algorithm 1
+// runs on the shard, Algorithm 2 resolves locally from the returned power
+// sums — identical to the local Plan.RunBlock because the modulation
+// consumes only the sums and the boundary geometry, both of which travel
+// exactly.
+func (s *shardSource) CalcBlock(ctx context.Context, i int, p *core.Plan, seed uint64) (core.BlockResult, bool, error) {
+	id := s.v.ids[i]
+	blen := s.v.lens[i]
+	m := p.SampleSize(blen)
+	args := SampleArgs{
+		BlockID:    id,
+		Center:     p.Pilot.Sketch0 + p.Shift,
+		Sigma:      p.Pilot.Sigma,
+		P1:         p.Cfg.P1,
+		P2:         p.Cfg.P2,
+		Shift:      p.Shift,
+		SampleSize: m,
+		Seed:       seed,
+	}
+	var rep SampleReply
+	err := s.v.c.callBlock(ctx, s.q, id, "Worker.Sample", args, &rep)
+	if err == errSkipLost {
+		return core.BlockResult{}, true, nil
+	}
+	if err != nil {
+		return core.BlockResult{}, false, err
+	}
+	acc := &leverage.Accum{
+		Bounds: p.Bounds,
+		S:      stats.PowerSums{Count: rep.S.Count, Sum: rep.S.Sum, Sum2: rep.S.Sum2, Sum3: rep.S.Sum3},
+		L:      stats.PowerSums{Count: rep.L.Count, Sum: rep.L.Sum, Sum2: rep.L.Sum2, Sum3: rep.L.Sum3},
+	}
+	answer, detail, err := p.Resolve(acc)
+	if err != nil {
+		return core.BlockResult{}, false, err
+	}
+	return core.BlockResult{BlockID: id, Len: blen, Samples: m, Answer: answer, Detail: detail}, false, nil
+}

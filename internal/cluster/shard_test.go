@@ -1,0 +1,340 @@
+package cluster
+
+// The sharded scatter/gather battery. The contract under test: a query
+// served through a ShardTable — filtered, grouped or plain, at any shard
+// count, with or without a mid-query shard-owner kill when a replica is
+// manifested — returns answers bit-identical (same seed) to the same
+// engine running over a local store of the same blocks.
+//
+// CI runs the Shard* tests under -race next to the chaos battery.
+
+import (
+	"strings"
+	"testing"
+
+	"isla/internal/block"
+	"isla/internal/core"
+	"isla/internal/engine"
+	"isla/internal/group"
+	"isla/internal/workload"
+)
+
+// shardManifestFor splits blocks into contiguous runs of per blocks, one
+// worker each, and returns the manifest describing them.
+func shardManifestFor(t *testing.T, blocks []block.Block, shards int) *ShardManifest {
+	t.Helper()
+	man := &ShardManifest{Version: 1}
+	per := (len(blocks) + shards - 1) / shards
+	for i := 0; i < len(blocks); i += per {
+		end := i + per
+		if end > len(blocks) {
+			end = len(blocks)
+		}
+		sub := blocks[i:end]
+		e := ShardEntry{Addr: startWorker(t, sub...)}
+		for _, b := range sub {
+			e.Blocks = append(e.Blocks, b.ID())
+			e.Lens = append(e.Lens, b.Len())
+		}
+		man.Shards = append(man.Shards, e)
+	}
+	return man
+}
+
+// shardEngine opens the manifested table and serves it through a fresh
+// engine under the name "t", with the plan cache on.
+func shardEngine(t *testing.T, man *ShardManifest, dial DialFunc) *engine.Engine {
+	t.Helper()
+	st, err := NewShardTable(man, core.DefaultConfig(), fastFault(), dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	cat := engine.NewCatalog()
+	cat.RegisterSharded("t", st)
+	eng := engine.New(cat)
+	eng.EnablePlanCache(64)
+	return eng
+}
+
+// localEngine serves the same blocks from a local store, plan cache on.
+func localEngine(t *testing.T, s *block.Store) *engine.Engine {
+	t.Helper()
+	cat := engine.NewCatalog()
+	cat.Register("t", s)
+	eng := engine.New(cat)
+	eng.EnablePlanCache(64)
+	return eng
+}
+
+// assertSameAnswer pins bit-identity of a query answer across serving
+// topologies: value, CI and the sampling diagnostics.
+func assertSameAnswer(t *testing.T, sql string, want, got engine.Result) {
+	t.Helper()
+	if got.Value != want.Value {
+		t.Fatalf("%s: value %v (sharded) vs %v (local)", sql, got.Value, want.Value)
+	}
+	if (got.CI == nil) != (want.CI == nil) {
+		t.Fatalf("%s: CI presence differs", sql)
+	}
+	if got.CI != nil && (got.CI.HalfWidth != want.CI.HalfWidth || got.CI.Center != want.CI.Center) {
+		t.Fatalf("%s: CI moved: %+v vs %+v", sql, got.CI, want.CI)
+	}
+	if got.Samples != want.Samples {
+		t.Fatalf("%s: samples %d vs %d", sql, got.Samples, want.Samples)
+	}
+	if got.Rows != want.Rows {
+		t.Fatalf("%s: rows %d vs %d", sql, got.Rows, want.Rows)
+	}
+	if len(got.Groups) != len(want.Groups) {
+		t.Fatalf("%s: group count %d vs %d", sql, len(got.Groups), len(want.Groups))
+	}
+	for i := range got.Groups {
+		g, w := got.Groups[i], want.Groups[i]
+		if g.Err != "" || w.Err != "" {
+			t.Fatalf("%s: group %q errs %q vs %q", sql, g.Group, g.Err, w.Err)
+		}
+		if g.Group != w.Group || g.Value != w.Value || g.Rows != w.Rows || g.Samples != w.Samples {
+			t.Fatalf("%s: group %q moved: %+v vs %+v", sql, w.Group, g, w)
+		}
+		if (g.CI == nil) != (w.CI == nil) || (g.CI != nil && g.CI.HalfWidth != w.CI.HalfWidth) {
+			t.Fatalf("%s: group %q CI moved", sql, w.Group)
+		}
+	}
+}
+
+// TestShardedEquivalenceBattery runs the pushed-down pipelines — frozen
+// pilot, filtered AVG/SUM/COUNT with Horvitz–Thompson accounting, and
+// unfiltered COUNT — over 1, 2 and 4 shards and requires every answer
+// bit-identical to the local engine. Each statement runs twice per engine
+// so the second pass also pins the warm plan-cache path.
+func TestShardedEquivalenceBattery(t *testing.T) {
+	s, _, err := workload.Normal(100, 20, 160000, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := localEngine(t, s)
+	queries := []string{
+		"SELECT AVG(v) FROM t WITH PRECISION 0.5 SEED 7",
+		"SELECT SUM(v) FROM t WITH PRECISION 0.5 SEED 7",
+		"SELECT COUNT(v) FROM t",
+		"SELECT AVG(v) FROM t WHERE v >= 90 AND v <= 140 WITH PRECISION 0.5 SEED 5",
+		"SELECT SUM(v) FROM t WHERE v > 80 AND v < 120 WITH PRECISION 0.5 SEED 11",
+		"SELECT COUNT(v) FROM t WHERE v > 100 WITH PRECISION 0.5 SEED 13",
+	}
+	for _, shards := range []int{1, 2, 4} {
+		man := shardManifestFor(t, s.Blocks(), shards)
+		remote := shardEngine(t, man, nil)
+		for _, sql := range queries {
+			for pass := 0; pass < 2; pass++ {
+				want, err := local.ExecuteSQL(sql)
+				if err != nil {
+					t.Fatalf("local %s: %v", sql, err)
+				}
+				got, err := remote.ExecuteSQL(sql)
+				if err != nil {
+					t.Fatalf("%d shards, %s: %v", shards, sql, err)
+				}
+				assertSameAnswer(t, sql, want, got)
+			}
+		}
+	}
+}
+
+// TestShardedGroupedEquivalence pins the grouped push-down: a manifest
+// whose groups mirror a local group store's block layout answers GROUP BY
+// (plain and filtered) bit-identically per group. Block ids differ —
+// group-local locally, global on the shards — which must not matter,
+// because seeds and merges key on block order, never id.
+func TestShardedGroupedEquivalence(t *testing.T) {
+	r := []group.Row{}
+	mk := func(key string, mu float64, n int, seed uint64) {
+		s, _, err := workload.Normal(mu, 15, n, 1, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range s.Blocks() {
+			for _, v := range b.(*block.MemBlock).Data() {
+				r = append(r, group.Row{Group: key, Value: v})
+			}
+		}
+	}
+	mk("east", 90, 30000, 1)
+	mk("west", 110, 40000, 2)
+	mk("south", 70, 20000, 3)
+	gs, err := group.BuildColumn("region", r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cat := engine.NewCatalog()
+	cat.RegisterGrouped("t", gs)
+	local := engine.New(cat)
+	local.EnablePlanCache(64)
+	// The shard side cannot scan, so pin the local side to sampling too.
+	local.SetGroupExactThreshold(-1)
+
+	// Rebuild the same blocks with global ids, split over two workers, and
+	// manifest the groups in the local stores' block order.
+	man := &ShardManifest{Version: 1, Column: "region"}
+	var all []block.Block
+	for _, key := range gs.Groups() {
+		s, err := gs.Group(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := ShardGroup{Key: key}
+		for _, b := range s.Blocks() {
+			id := len(all)
+			all = append(all, block.NewMemBlock(id, b.(*block.MemBlock).Data()))
+			g.Blocks = append(g.Blocks, id)
+		}
+		man.Groups = append(man.Groups, g)
+	}
+	for i, sub := range [][]block.Block{all[:len(all)/2], all[len(all)/2:]} {
+		e := ShardEntry{Addr: startWorker(t, sub...)}
+		for _, b := range sub {
+			e.Blocks = append(e.Blocks, b.ID())
+			e.Lens = append(e.Lens, b.Len())
+		}
+		man.Shards = append(man.Shards, e)
+		_ = i
+	}
+	remote := shardEngine(t, man, nil)
+
+	queries := []string{
+		"SELECT AVG(v) FROM t GROUP BY region WITH PRECISION 0.5 SEED 7",
+		"SELECT SUM(v) FROM t WHERE v >= 60 AND v <= 120 GROUP BY region WITH PRECISION 0.5 SEED 9",
+		"SELECT COUNT(v) FROM t WHERE v > 95 GROUP BY region WITH PRECISION 0.5 SEED 4",
+	}
+	for _, sql := range queries {
+		want, err := local.ExecuteSQL(sql)
+		if err != nil {
+			t.Fatalf("local %s: %v", sql, err)
+		}
+		got, err := remote.ExecuteSQL(sql)
+		if err != nil {
+			t.Fatalf("sharded %s: %v", sql, err)
+		}
+		assertSameAnswer(t, sql, want, got)
+	}
+}
+
+// TestShardChaosKillOwnerMidFilteredQuery kills a shard owner in the
+// middle of a filtered query — once during the filter pilot, once during
+// the calculation fan-out — with a manifested replica alive, and requires
+// the exact healthy (and local) answer bits after failover.
+func TestShardChaosKillOwnerMidFilteredQuery(t *testing.T) {
+	const sql = "SELECT AVG(v) FROM t WHERE v >= 85 AND v <= 130 WITH PRECISION 0.5 SEED 21"
+	cases := []struct {
+		name   string
+		killAt int // addr1 data-path call ordinal (3 blocks per stage)
+	}{
+		{"mid-filter-pilot", 2},
+		{"mid-filter-calc", 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, _, err := workload.Normal(100, 20, 120000, 6, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blocks := s.Blocks()
+			w1, addr1 := startReplica(t, blocks[:3]...)
+			_, addr2 := startReplica(t, blocks[3:]...)
+			_, addr3 := startReplica(t, blocks[:3]...) // replica of shard 1
+			entry := func(addr string, sub []block.Block) ShardEntry {
+				e := ShardEntry{Addr: addr}
+				for _, b := range sub {
+					e.Blocks = append(e.Blocks, b.ID())
+					e.Lens = append(e.Lens, b.Len())
+				}
+				return e
+			}
+			man := &ShardManifest{Version: 1, Shards: []ShardEntry{
+				entry(addr1, blocks[:3]),
+				entry(addr2, blocks[3:]),
+				entry(addr3, blocks[:3]),
+			}}
+
+			want, err := localEngine(t, s).ExecuteSQL(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			healthy, err := shardEngine(t, man, nil).ExecuteSQL(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameAnswer(t, sql, want, healthy)
+
+			f := NewFaults(99)
+			f.Script(addr1, tc.killAt, func() { w1.Close() })
+			got, err := shardEngine(t, man, f.Wrap(DialTCP)).ExecuteSQL(sql)
+			if err != nil {
+				t.Fatalf("failover run: %v", err)
+			}
+			assertSameAnswer(t, sql, want, got)
+			if got.Partial != nil {
+				t.Fatalf("replica covered every block, Partial = %+v", got.Partial)
+			}
+		})
+	}
+}
+
+// TestShardRefusesUnsupported pins the typed refusals: exact scans,
+// baseline estimators, time budgets and non-interval predicates cannot be
+// pushed down.
+func TestShardRefusesUnsupported(t *testing.T) {
+	s, _, err := workload.Normal(100, 20, 40000, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := shardManifestFor(t, s.Blocks(), 2)
+	eng := shardEngine(t, man, nil)
+	for _, sql := range []string{
+		"SELECT AVG(v) FROM t METHOD EXACT",
+		"SELECT AVG(v) FROM t METHOD US WITH PRECISION 0.5",
+		"SELECT AVG(v) FROM t WITH TIMEBUDGET 0.5",
+		"SELECT AVG(v) FROM t WHERE v <> 3 WITH PRECISION 0.5",
+	} {
+		_, err := eng.ExecuteSQL(sql)
+		if err == nil {
+			t.Fatalf("%s: accepted on a sharded table", sql)
+		}
+	}
+	// Unfiltered COUNT stays metadata-exact.
+	res, err := eng.ExecuteSQL("SELECT COUNT(v) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(res.Value) != s.TotalLen() {
+		t.Fatalf("COUNT = %v, want %d", res.Value, s.TotalLen())
+	}
+}
+
+// TestShardTableValidatesWorkers pins the admission contract: a worker
+// that does not serve its manifested blocks (or serves them at the wrong
+// length) is rejected at open.
+func TestShardTableValidatesWorkers(t *testing.T) {
+	s, _, err := workload.Normal(100, 20, 10000, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := s.Blocks()
+	addr := startWorker(t, blocks[:2]...)
+	man := &ShardManifest{Version: 1, Shards: []ShardEntry{{
+		Addr:   addr,
+		Blocks: []int{0, 1, 2}, // block 2 lives elsewhere
+		Lens:   []int64{blocks[0].Len(), blocks[1].Len(), blocks[2].Len()},
+	}}}
+	if _, err := NewShardTable(man, core.DefaultConfig(), fastFault(), nil); err == nil ||
+		!strings.Contains(err.Error(), "does not serve block 2") {
+		t.Fatalf("missing block accepted: %v", err)
+	}
+	man.Shards[0].Blocks = []int{0, 1}
+	man.Shards[0].Lens = []int64{blocks[0].Len(), blocks[1].Len() + 1}
+	if _, err := NewShardTable(man, core.DefaultConfig(), fastFault(), nil); err == nil ||
+		!strings.Contains(err.Error(), "manifest mismatch") {
+		t.Fatalf("wrong length accepted: %v", err)
+	}
+}

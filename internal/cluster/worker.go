@@ -84,6 +84,66 @@ type InfoReply struct {
 	Lens     []int64
 }
 
+// PilotStateArgs asks a worker for a pilot draw that resumes the
+// coordinator's master RNG mid-stream: the draw starts at state (S0, S1)
+// and the reply carries the state left afterwards, so the coordinator can
+// thread one generator sequentially through the blocks exactly as the
+// local per-block pilot does — the remote pilot then consumes the same
+// stream, bit for bit.
+type PilotStateArgs struct {
+	BlockID    int
+	SampleSize int64
+	S0, S1     uint64
+}
+
+// PilotStateReply carries the pilot draw's exact streaming moments (M2 is
+// the raw Welford sum, not a variance round-trip) plus the generator state
+// after the draw.
+type PilotStateReply struct {
+	BlockID      int
+	Len          int64
+	Count        int64
+	Mean         float64
+	M2           float64
+	Min, Max     float64
+	EndS0, EndS1 uint64
+}
+
+// FilterArgs asks a worker to service raw draws on one block under an
+// interval filter [Lo, Hi] — the push-down form of a WHERE conjunction
+// (predicate closures cannot travel over the wire; the engine lowers
+// interval-reducible conjunctions before dispatch). The worker runs the
+// same fused filtered gather kernel the local estimator uses.
+type FilterArgs struct {
+	BlockID    int
+	SampleSize int64 // raw draws to service
+	Seed       uint64
+	Lo, Hi     float64
+}
+
+// FilterValuesReply returns the accepted values themselves, in draw order
+// — what the filter pilot needs, because its moments accumulate across
+// blocks in one shared fold on the coordinator.
+type FilterValuesReply struct {
+	BlockID  int
+	Len      int64
+	Accepted int64
+	Values   []float64
+}
+
+// FilterSampleReply returns the accepted count and the exact streaming
+// moments of the accepted values — the O(1)-per-block wire form the
+// filtered calculation phase merges.
+type FilterSampleReply struct {
+	BlockID  int
+	Len      int64
+	Accepted int64
+	Count    int64
+	Mean     float64
+	M2       float64
+	Min, Max float64
+}
+
 // Worker serves block computations over RPC. Create with NewWorker, then
 // Serve on a listener.
 type Worker struct {
@@ -154,7 +214,93 @@ func (w *Worker) Pilot(args PilotArgs, reply *PilotReply) error {
 	reply.Len = b.Len()
 	reply.Count = m.Count()
 	reply.Mean = m.Mean()
-	reply.M2 = m.Variance() * float64(m.Count())
+	reply.M2 = m.M2()
+	reply.Min = m.Min()
+	reply.Max = m.Max()
+	return nil
+}
+
+// PilotState draws a pilot sample that resumes the coordinator's master
+// RNG at the supplied state and reports the state left after the draw —
+// the sequential-threading primitive behind the shard tier's bit-identical
+// remote pre-estimation.
+func (w *Worker) PilotState(args PilotStateArgs, reply *PilotStateReply) error {
+	b, err := w.lookup(args.BlockID)
+	if err != nil {
+		return err
+	}
+	if args.SampleSize <= 0 {
+		return errors.New("cluster: non-positive pilot size")
+	}
+	r := (stats.RNGState{S0: args.S0, S1: args.S1}).RNG()
+	var m stats.Moments
+	if err := block.SampleChunks(b, r, args.SampleSize, block.MomentsSink(&m)); err != nil {
+		return err
+	}
+	end := r.State()
+	reply.BlockID = args.BlockID
+	reply.Len = b.Len()
+	reply.Count = m.Count()
+	reply.Mean = m.Mean()
+	reply.M2 = m.M2()
+	reply.Min = m.Min()
+	reply.Max = m.Max()
+	reply.EndS0, reply.EndS1 = end.S0, end.S1
+	return nil
+}
+
+// FilterValues services raw draws under the interval filter and returns
+// the accepted values in draw order — the filter pilot's push-down. The
+// fused interval kernel consumes the same RNG stream and accepts the same
+// values the local pilot would.
+func (w *Worker) FilterValues(args FilterArgs, reply *FilterValuesReply) error {
+	b, err := w.lookup(args.BlockID)
+	if err != nil {
+		return err
+	}
+	if args.SampleSize <= 0 {
+		return errors.New("cluster: non-positive sample size")
+	}
+	r := stats.NewRNG(args.Seed)
+	var vals []float64
+	n, err := block.SampleFilteredIntervalChunks(b, r, args.SampleSize, args.Lo, args.Hi,
+		func(vs []float64) error {
+			vals = append(vals, vs...)
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	reply.BlockID = args.BlockID
+	reply.Len = b.Len()
+	reply.Accepted = n
+	reply.Values = vals
+	return nil
+}
+
+// FilterSample services raw draws under the interval filter and returns
+// the accepted count plus the exact moments of the accepted values — the
+// filtered calculation phase's push-down; only O(1) state travels back.
+func (w *Worker) FilterSample(args FilterArgs, reply *FilterSampleReply) error {
+	b, err := w.lookup(args.BlockID)
+	if err != nil {
+		return err
+	}
+	if args.SampleSize <= 0 {
+		return errors.New("cluster: non-positive sample size")
+	}
+	r := stats.NewRNG(args.Seed)
+	var m stats.Moments
+	n, err := block.SampleFilteredIntervalChunks(b, r, args.SampleSize, args.Lo, args.Hi, block.MomentsSink(&m))
+	if err != nil {
+		return err
+	}
+	reply.BlockID = args.BlockID
+	reply.Len = b.Len()
+	reply.Accepted = n
+	reply.Count = m.Count()
+	reply.Mean = m.Mean()
+	reply.M2 = m.M2()
 	reply.Min = m.Min()
 	reply.Max = m.Max()
 	return nil

@@ -101,16 +101,24 @@ func PlansFromPilots(pilots []BlockPilot, overall Pilot, cfg Config, totalLen in
 	return plans, nil
 }
 
+// SampleSize resolves the plan's draw count for a block of the given
+// length: rate·len, at least one. Exported so a remote executor sizes a
+// shard's draw exactly as SampleBlock would locally.
+func (p *Plan) SampleSize(blen int64) int64 {
+	m := int64(p.Pilot.SampleRate * float64(blen))
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
 // SampleBlock runs Algorithm 1 on one block: draws the plan's sample quota
 // chunk-at-a-time over the batched sampling path and folds the (shifted)
 // values into a fresh accumulator. The RNG stream and accumulation order
 // match the scalar per-value path exactly, so results are bit-identical
 // for the same seed.
 func (p *Plan) SampleBlock(b block.Block, r *stats.RNG) (*leverage.Accum, int64, error) {
-	m := int64(p.Pilot.SampleRate * float64(b.Len()))
-	if m < 1 {
-		m = 1
-	}
+	m := p.SampleSize(b.Len())
 	acc := leverage.NewAccum(p.Bounds)
 	err := block.SampleChunks(b, r, m, func(vs []float64) error {
 		acc.AddShifted(vs, p.Shift)

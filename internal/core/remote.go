@@ -1,0 +1,429 @@
+// Remote execution pipelines: the per-block estimation phases rebuilt over
+// a BlockSource, the minimal surface a shard tier implements. Each pipeline
+// is a line-for-line mirror of its store-backed sibling — same probe
+// sizing, same quota allocation (block.QuotasFor is the pure core of
+// Store.Quotas), same seed-derivation discipline (one master-stream draw
+// per planned block, in block order), same merge order — so for a given
+// seed and block layout a remote run returns the exact answer bits of the
+// local run. The only intentional divergences are invisible in the answer:
+// remote blocks carry no persisted summaries, so the filter pipelines run
+// without zone maps (pruning never moves an answer bit, only the
+// physically-drawn diagnostics), and remote blocks are never quarantined
+// (loss is handled by replica failover, not by planning blocks out).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"isla/internal/block"
+	"isla/internal/exec"
+	"isla/internal/stats"
+)
+
+// BlockSource is the execution surface a remote shard tier exposes to the
+// pipelines: the block layout (count, lengths, ids) that fixes quota
+// allocation and seed order, plus the four per-block operations, executed
+// wherever the block lives. Implementations must reproduce the local
+// per-block computations exactly — the cluster workers run the very same
+// block.SampleChunks / SampleFilteredIntervalChunks kernels.
+type BlockSource interface {
+	NumBlocks() int
+	TotalLen() int64
+	// BlockLen and BlockID describe block i of the source's fixed order.
+	BlockLen(i int) int64
+	BlockID(i int) int
+	// PilotBlock resumes the master RNG at state, draws size uniform
+	// samples from block i, and returns the streaming moments plus the
+	// generator state after the draw. Threading the state block to block
+	// is what makes the remote pilot consume the exact stream
+	// PreEstimatePerBlock would consume locally.
+	PilotBlock(ctx context.Context, i int, size int64, state stats.RNGState) (stats.Moments, stats.RNGState, error)
+	// FilterPilotBlock services q raw draws on block i from a fresh
+	// RNG(seed) under the interval filter and returns the accepted values
+	// in draw order — the pilot needs the raw values because its moments
+	// accumulate across blocks in one shared fold.
+	FilterPilotBlock(ctx context.Context, i int, seed uint64, q int64, f Filter) ([]float64, error)
+	// FilterCalcBlock services q raw draws on block i from a fresh
+	// RNG(seed) under the interval filter and returns the accepted count
+	// and the moments of the accepted values.
+	FilterCalcBlock(ctx context.Context, i int, seed uint64, q int64, f Filter) (int64, stats.Moments, error)
+	// CalcBlock runs Algorithm 1 for plan p on block i with the given seed
+	// and resolves the partial answer. lost reports the block had no live
+	// replica and the source's policy allows degrading to a partial
+	// answer; the pipeline then accounts the loss instead of failing.
+	CalcBlock(ctx context.Context, i int, p *Plan, seed uint64) (br BlockResult, lost bool, err error)
+}
+
+// sourceLens materializes the per-block lengths in source order.
+func sourceLens(src BlockSource) []int64 {
+	lens := make([]int64, src.NumBlocks())
+	for i := range lens {
+		lens[i] = src.BlockLen(i)
+	}
+	return lens
+}
+
+// FreezePilotRemote runs the per-block pre-estimation over a BlockSource —
+// the remote mirror of FreezePilot/PreEstimatePerBlock. The per-block
+// probes thread one RNG sequentially through the blocks (each block's
+// draw stream starts where the previous block's ended), so the calls are
+// inherently sequential; pilots are small and the result is meant to be
+// frozen in a plan cache.
+func FreezePilotRemote(ctx context.Context, src BlockSource, cfg Config) (FrozenPilot, error) {
+	if err := cfg.Validate(); err != nil {
+		return FrozenPilot{}, err
+	}
+	total := src.TotalLen()
+	if total == 0 {
+		return FrozenPilot{}, ErrEmptyStore
+	}
+	relaxed := cfg.RelaxFactor * cfg.Precision
+	pilots := make([]BlockPilot, src.NumBlocks())
+	var pooled stats.Moments
+	r := stats.NewRNG(cfg.Seed)
+	for i := range pilots {
+		blen := src.BlockLen(i)
+		if blen == 0 {
+			pilots[i] = BlockPilot{}
+			continue
+		}
+		// The probe sizing is PreEstimatePerBlock's, verbatim.
+		probe := blen / 100
+		if probe < 200 {
+			probe = 200
+		}
+		if probe > blen {
+			probe = blen
+		}
+		m, end, err := src.PilotBlock(ctx, i, probe, r.State())
+		if err != nil {
+			return FrozenPilot{}, fmt.Errorf("core: block %d pilot: %w", src.BlockID(i), err)
+		}
+		r = end.RNG()
+		pilots[i] = BlockPilot{Sketch0: m.Mean(), Sigma: m.SampleStdDev(), Len: blen}
+		pooled.Merge(m)
+	}
+	sigma := pooled.SampleStdDev()
+	rate, m, err := planSize(sigma, cfg, total)
+	if err != nil {
+		return FrozenPilot{}, err
+	}
+	overall := Pilot{
+		Sketch0:    pooled.Mean(),
+		Sigma:      sigma,
+		SampleRate: rate,
+		SampleSize: m,
+		PilotSize:  pooled.Count(),
+		RelaxedE:   relaxed,
+		Min:        pooled.Min(),
+		Max:        pooled.Max(),
+	}
+	return FrozenPilot{Pilots: pilots, Base: overall, RNG: r.State()}, nil
+}
+
+// EstimateFrozenRemote runs the calculation phase from a frozen pilot over
+// a BlockSource — the remote mirror of EstimateFrozen/runPlans. Blocks
+// execute concurrently on the exec runtime; a block the source reports
+// lost (no live replica, partial answers allowed) keeps its place in the
+// seed stream but contributes nothing, and the result carries the Partial
+// accounting — exactly the coordinator's degradation contract.
+func EstimateFrozenRemote(ctx context.Context, src BlockSource, cfg Config, fp FrozenPilot) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	total := src.TotalLen()
+	if total == 0 {
+		return Result{}, ErrEmptyStore
+	}
+	if len(fp.Pilots) != src.NumBlocks() {
+		return Result{}, fmt.Errorf("core: frozen pilot covers %d blocks, source has %d — frozen from a different layout?",
+			len(fp.Pilots), src.NumBlocks())
+	}
+	overall, err := RederivePilot(fp.Base, cfg, total)
+	if err != nil {
+		return Result{}, err
+	}
+	plans, err := PlansFromPilots(fp.Pilots, overall, cfg, total)
+	if err != nil {
+		return Result{}, err
+	}
+	// Seeds are consumed for planned blocks only, in block order — the same
+	// stream runPlans draws locally.
+	r := fp.RNG.RNG()
+	seeds := make([]uint64, len(plans))
+	var shift float64
+	for i, p := range plans {
+		if p != nil {
+			seeds[i] = r.Uint64()
+			shift = p.Shift
+		}
+	}
+	type blockOut struct {
+		br   BlockResult
+		lost bool
+	}
+	outs, err := exec.Run(ctx, exec.Pool(cfg.Workers), len(plans),
+		func(ctx context.Context, i int) (blockOut, error) {
+			if plans[i] == nil {
+				return blockOut{br: BlockResult{BlockID: src.BlockID(i)}}, nil
+			}
+			br, lost, err := src.CalcBlock(ctx, i, plans[i], seeds[i])
+			if err != nil {
+				return blockOut{}, err
+			}
+			return blockOut{br: br, lost: lost}, nil
+		})
+	if err != nil {
+		return Result{}, err
+	}
+	perBlock := make([]BlockResult, 0, len(outs))
+	var covered int64
+	var missing []int
+	for i, o := range outs {
+		if o.lost {
+			missing = append(missing, src.BlockID(i))
+			continue
+		}
+		perBlock = append(perBlock, o.br)
+		covered += o.br.Len
+	}
+	if len(missing) == 0 {
+		return SummarizeBlocks(cfg, overall, shift, perBlock, total), nil
+	}
+	if covered == 0 {
+		return Result{}, fmt.Errorf("core: every block lost: %v", missing)
+	}
+	res := SummarizeBlocks(cfg, overall, shift, perBlock, covered)
+	res.Partial = &Partial{MissingBlocks: missing, CoveredRows: covered, TotalRows: total}
+	return res, nil
+}
+
+// FreezeFilterPilotRemote runs the filtered pre-estimation over a
+// BlockSource — the remote mirror of FreezeFilterPilot. Remote blocks
+// carry no persisted summaries, so no zone-map classification is frozen
+// (fp.Classes stays nil — every block samples through the filter, which is
+// the class that never moves an answer bit). Per-block draws fan out
+// concurrently; the accepted values fold into the shared pilot moments in
+// block order afterwards, which is bit-identical to the local sequential
+// fold because Moments.AddSlice is element-wise Welford.
+func FreezeFilterPilotRemote(ctx context.Context, src BlockSource, cfg Config, f Filter) (FilterPilot, error) {
+	if err := cfg.Validate(); err != nil {
+		return FilterPilot{}, err
+	}
+	if f.Pred == nil {
+		return FilterPilot{}, errors.New("core: nil predicate")
+	}
+	if !f.HasInterval && !f.Contradiction() {
+		return FilterPilot{}, errors.New("core: remote filtered execution requires an interval filter (closures cannot travel)")
+	}
+	total := src.TotalLen()
+	if total == 0 {
+		return FilterPilot{}, ErrEmptyStore
+	}
+	fp := FilterPilot{
+		Lo:          f.Lo,
+		Hi:          f.Hi,
+		HasInterval: f.HasInterval,
+		Blocks:      src.NumBlocks(),
+		TotalLen:    total,
+	}
+	r := stats.NewRNG(cfg.Seed)
+	if f.Contradiction() {
+		fp.RNG = r.State()
+		return fp, nil
+	}
+	lens := sourceLens(src)
+
+	var pm stats.Moments
+	stage := func(raw int64) error {
+		quotas := block.QuotasFor(lens, raw)
+		seeds := make([]uint64, len(quotas))
+		for i, q := range quotas {
+			if q > 0 {
+				seeds[i] = r.Uint64()
+			}
+		}
+		values, err := exec.Run(ctx, exec.Pool(cfg.Workers), len(quotas),
+			func(ctx context.Context, i int) ([]float64, error) {
+				if quotas[i] == 0 {
+					return nil, nil
+				}
+				vs, err := src.FilterPilotBlock(ctx, i, seeds[i], quotas[i], f)
+				if err != nil {
+					return nil, fmt.Errorf("core: filter pilot block %d: %w", src.BlockID(i), err)
+				}
+				return vs, nil
+			})
+		if err != nil {
+			return err
+		}
+		for i, q := range quotas {
+			if q == 0 {
+				continue
+			}
+			fp.Drawn += q
+			pm.AddSlice(values[i])
+			fp.Accepted += int64(len(values[i]))
+		}
+		return nil
+	}
+
+	probe := int64(filterProbeSize)
+	if probe > total {
+		probe = total
+	}
+	if err := stage(probe); err != nil {
+		return FilterPilot{}, err
+	}
+	if fp.Accepted > 0 {
+		want := int64(filterPilotTarget)
+		if cfg.PilotSize > 0 {
+			want = cfg.PilotSize
+		}
+		sel := float64(fp.Accepted) / float64(fp.Drawn)
+		if raw := rawDraws(want, sel, total); raw > 0 {
+			if err := stage(raw); err != nil {
+				return FilterPilot{}, err
+			}
+		}
+	}
+	fp.Selectivity = float64(fp.Accepted) / float64(fp.Drawn)
+	fp.RNG = r.State()
+	if fp.Accepted > 0 {
+		fp.Mean = pm.Mean()
+		fp.Sigma = pm.SampleStdDev()
+	}
+	return fp, nil
+}
+
+// EstimateFilteredFrozenRemote runs the filtered calculation phase from a
+// frozen filter pilot over a BlockSource — the remote mirror of
+// EstimateFilteredFrozen. A lost block always fails the query: the
+// Horvitz–Thompson correction scales by the full row count, so partial
+// coverage would bias the answer (the same reason the engine refuses
+// filtered queries over quarantined stores).
+func EstimateFilteredFrozenRemote(ctx context.Context, src BlockSource, cfg Config, f Filter, fp FilterPilot) (FilteredResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return FilteredResult{}, err
+	}
+	if f.Pred == nil {
+		return FilteredResult{}, errors.New("core: nil predicate")
+	}
+	if !f.HasInterval {
+		return FilteredResult{}, errors.New("core: remote filtered execution requires an interval filter (closures cannot travel)")
+	}
+	total := src.TotalLen()
+	if total == 0 {
+		return FilteredResult{}, ErrEmptyStore
+	}
+	if fp.Blocks != src.NumBlocks() || fp.TotalLen != total {
+		return FilteredResult{}, fmt.Errorf("core: filter pilot frozen over %d blocks/%d rows, source has %d/%d — frozen from a different layout?",
+			fp.Blocks, fp.TotalLen, src.NumBlocks(), total)
+	}
+	if fp.HasInterval != f.HasInterval || !(fp.Lo == f.Lo && fp.Hi == f.Hi) {
+		return FilteredResult{}, errors.New("core: filter pilot frozen for a different predicate")
+	}
+	if fp.Classes != nil && len(fp.Classes) != src.NumBlocks() {
+		return FilteredResult{}, errors.New("core: filter pilot classification does not cover the source")
+	}
+	if fp.Accepted == 0 {
+		return FilteredResult{Pilot: fp, Drawn: fp.Drawn - fp.PrunedDraws, Planned: fp.Drawn}, ErrNoMatch
+	}
+
+	want, err := stats.RequiredSampleSize(fp.Sigma, cfg.Precision, cfg.Confidence)
+	if err != nil {
+		return FilteredResult{}, fmt.Errorf("core: filtered sample size: %w", err)
+	}
+	want = int64(float64(want) * cfg.SampleFraction)
+	raw := rawDraws(want, fp.Selectivity, total)
+	if maxRaw := int64(cfg.MaxSampleRate * float64(total)); raw > maxRaw && maxRaw > 0 {
+		raw = maxRaw
+	}
+	if raw < 1 {
+		raw = 1
+	}
+
+	lens := sourceLens(src)
+	quotas := block.QuotasFor(lens, raw)
+	r := fp.RNG.RNG()
+	seeds := make([]uint64, len(quotas))
+	for i, q := range quotas {
+		if q > 0 {
+			seeds[i] = r.Uint64()
+		}
+	}
+
+	type blockAcc struct {
+		res BlockFilterResult
+		m   stats.Moments
+	}
+	perBlock, err := exec.Run(ctx, exec.Pool(cfg.Workers), len(quotas),
+		func(ctx context.Context, i int) (blockAcc, error) {
+			class := classAt(fp.Classes, i)
+			acc := blockAcc{res: BlockFilterResult{BlockID: src.BlockID(i), Len: lens[i], Class: class}}
+			if quotas[i] == 0 {
+				return acc, nil
+			}
+			acc.res.Planned = quotas[i]
+			n, m, err := src.FilterCalcBlock(ctx, i, seeds[i], quotas[i], f)
+			if err != nil {
+				return blockAcc{}, fmt.Errorf("core: block %d: %w", src.BlockID(i), err)
+			}
+			acc.m = m
+			acc.res.Drawn = quotas[i]
+			acc.res.Accepted = n
+			acc.res.Mean = m.Mean()
+			return acc, nil
+		})
+	if err != nil {
+		return FilteredResult{}, err
+	}
+
+	out := FilteredResult{Pilot: fp, PerBlock: make([]BlockFilterResult, len(perBlock))}
+	var pooled stats.Moments
+	var count, sum float64
+	for i, acc := range perBlock {
+		out.PerBlock[i] = acc.res
+		out.Planned += acc.res.Planned
+		out.Drawn += acc.res.Drawn
+		out.Accepted += acc.res.Accepted
+		if acc.res.Planned == 0 {
+			continue
+		}
+		ci := float64(acc.res.Accepted) / float64(acc.res.Planned) * float64(acc.res.Len)
+		count += ci
+		sum += acc.res.Mean * ci
+		pooled.Merge(acc.m)
+	}
+	if out.Accepted == 0 {
+		return out, ErrNoMatch
+	}
+	out.Selectivity = float64(out.Accepted) / float64(out.Planned)
+	out.Count = count
+	out.Avg = sum / count
+	out.Sum = sum
+
+	out.CI, err = stats.MeanCI(out.Avg, pooled.SampleStdDev(), out.Accepted, cfg.Confidence)
+	if err != nil {
+		return FilteredResult{}, err
+	}
+	p := out.Selectivity
+	pci, err := stats.MeanCI(p, math.Sqrt(p*(1-p)), out.Planned, cfg.Confidence)
+	if err != nil {
+		return FilteredResult{}, err
+	}
+	out.CountCI = stats.ConfidenceInterval{
+		Center:     out.Count,
+		HalfWidth:  pci.HalfWidth * float64(total),
+		Confidence: cfg.Confidence,
+	}
+	out.SumCI = stats.ConfidenceInterval{
+		Center:     out.Sum,
+		HalfWidth:  out.Count*out.CI.HalfWidth + math.Abs(out.Avg)*out.CountCI.HalfWidth,
+		Confidence: cfg.Confidence,
+	}
+	return out, nil
+}

@@ -36,10 +36,44 @@ type Table struct {
 	// tables). For grouped tables Store is the combined view over every
 	// group's blocks, so ungrouped queries keep working.
 	Groups *group.Store
+	// Shard is the remote execution surface of a sharded table (nil for
+	// local tables); when set, Store and Groups are nil and every query
+	// runs through Shard's executors.
+	Shard Sharded
 	// Gen is the catalog-wide registration counter at the moment this
 	// table version was registered. Caches key derived state (pilot
 	// plans) by it so a replaced store can never serve stale state.
 	Gen uint64
+}
+
+// Rows returns the table's row count, wherever the blocks live.
+func (t *Table) Rows() int64 {
+	if t.Shard != nil {
+		return t.Shard.Rows()
+	}
+	return t.Store.TotalLen()
+}
+
+// Sharded is a table whose blocks live on remote shard workers — the
+// engine-facing surface of the cluster package's ShardTable. The engine
+// serves it through the same query path, plan cache, metrics classes and
+// AllowPartial degradation as a local store; only operations that need the
+// raw bytes locally (exact scans, baseline estimators, time-budgeted runs)
+// refuse with ErrShardUnsupported.
+type Sharded interface {
+	// Rows is the table's row count (replicas counted once).
+	Rows() int64
+	// Checksum fingerprints the shard layout; it keys plan-cache entries
+	// the way a local store's summary checksum does.
+	Checksum() uint64
+	// Executor is the whole-table execution surface.
+	Executor() core.Executor
+	// GroupColumn names the grouped column ("" when ungrouped).
+	GroupColumn() string
+	// GroupKeys returns the group keys, sorted; empty when ungrouped.
+	GroupKeys() []string
+	// GroupExecutor returns one group's execution surface.
+	GroupExecutor(key string) (core.Executor, error)
 }
 
 // Catalog maps table names to stores. It is safe for concurrent use.
@@ -85,6 +119,20 @@ func (c *Catalog) RegisterGrouped(name string, g *group.Store) {
 	}
 }
 
+// RegisterSharded adds or replaces a sharded table: queries run through
+// sh's remote executors instead of a local store. Like Register, every
+// registration bumps the generation counter and fires the hooks.
+func (c *Catalog) RegisterSharded(name string, sh Sharded) {
+	c.mu.Lock()
+	c.gen++
+	c.tables[name] = &Table{Name: name, Shard: sh, Gen: c.gen}
+	hooks := c.hooks
+	c.mu.Unlock()
+	for _, fn := range hooks {
+		fn(name)
+	}
+}
+
 // OnRegister adds a callback invoked (outside the catalog lock) after
 // every Register with the registered name. Used by the plan cache to drop
 // superseded pilots.
@@ -97,6 +145,11 @@ func (c *Catalog) OnRegister(fn func(name string)) {
 // ErrUnknownTable is wrapped by Lookup failures so front ends can map
 // them (e.g. to HTTP 404) with errors.Is.
 var ErrUnknownTable = errors.New("engine: unknown table")
+
+// ErrShardUnsupported is wrapped by refusals of operations that need a
+// table's raw bytes on the serving node — exact scans, baseline
+// estimators, time-budgeted runs — when the table is sharded.
+var ErrShardUnsupported = errors.New("engine: not supported on sharded tables")
 
 // Lookup returns the named table.
 func (c *Catalog) Lookup(name string) (*Table, error) {
@@ -388,8 +441,8 @@ func (e *Engine) QuarantinedBlocks() map[string][]int {
 	out := make(map[string][]int)
 	for _, name := range e.Catalog.Names() {
 		tbl, err := e.Catalog.Lookup(name)
-		if err != nil {
-			continue // racing deregistration
+		if err != nil || tbl.Store == nil {
+			continue // racing deregistration, or a sharded table
 		}
 		if ids := tbl.Store.QuarantinedIDs(); len(ids) > 0 {
 			out[name] = ids
@@ -415,8 +468,8 @@ func (e *Engine) Scrub(ctx context.Context, workers int) ([]TableScrub, error) {
 	var out []TableScrub
 	for _, name := range e.Catalog.Names() {
 		tbl, err := e.Catalog.Lookup(name)
-		if err != nil {
-			continue // racing deregistration
+		if err != nil || tbl.Store == nil {
+			continue // racing deregistration, or a sharded table (workers scrub)
 		}
 		var rep block.ScrubReport
 		if tbl.Groups != nil {
@@ -475,36 +528,30 @@ func (e *Engine) ExecuteContext(ctx context.Context, q query.Query) (Result, err
 	e.inFlight.Add(1)
 	defer e.inFlight.Add(-1)
 	start := time.Now()
-	res := Result{Query: q, Method: q.Method, Rows: tbl.Store.TotalLen()}
+	res := Result{Query: q, Method: q.Method, Rows: tbl.Rows()}
 	cfg := e.queryConfig(q)
 	f, hasFilter := compileFilter(q.Predicates)
 	fingerprint := query.PredicateString(q.Predicates)
 
 	if q.GroupBy != "" {
-		gs := tbl.Groups
-		if gs == nil {
-			return Result{}, fmt.Errorf("engine: table %q is not grouped; register it with RegisterGrouped to GROUP BY", q.Table)
+		parts, err := e.groupTargets(tbl, q)
+		if err != nil {
+			return Result{}, err
 		}
-		if col := gs.Column(); col != "" && q.GroupBy != col {
-			return Result{}, fmt.Errorf("engine: unknown group column %q on table %q (group column is %q)", q.GroupBy, q.Table, col)
-		}
-		for _, key := range gs.Groups() {
-			s, err := gs.Group(key)
-			if err != nil {
-				return Result{}, err // unreachable: keys come from the store
-			}
-			p, err := e.aggregateStore(ctx, q, cfg, tbl, true, key, s, f, hasFilter, fingerprint)
+		for _, g := range parts {
+			rows := g.tgt.ex.TotalLen()
+			p, err := e.aggregateStore(ctx, q, cfg, tbl, true, g.key, g.tgt, f, hasFilter, fingerprint)
 			if err != nil {
 				// Cancellation aborts the whole query; any other failure is
 				// confined to its group so the siblings still answer.
 				if ctx.Err() != nil {
 					return Result{}, err
 				}
-				res.Groups = append(res.Groups, GroupResult{Group: key, Rows: s.TotalLen(), Err: err.Error()})
+				res.Groups = append(res.Groups, GroupResult{Group: g.key, Rows: rows, Err: err.Error()})
 				continue
 			}
 			res.Groups = append(res.Groups, GroupResult{
-				Group: key, Value: p.value, CI: p.ci, Rows: s.TotalLen(),
+				Group: g.key, Value: p.value, CI: p.ci, Rows: rows,
 				Samples: p.samples, Exact: p.exact, PilotCached: p.cached,
 				Filter: p.filter, Partial: p.part,
 			})
@@ -515,7 +562,13 @@ func (e *Engine) ExecuteContext(ctx context.Context, q query.Query) (Result, err
 		return res, nil
 	}
 
-	p, err := e.aggregateStore(ctx, q, cfg, tbl, false, "", tbl.Store, f, hasFilter, fingerprint)
+	tgt := target{s: tbl.Store}
+	if tbl.Shard != nil {
+		tgt.ex = tbl.Shard.Executor()
+	} else {
+		tgt.ex = core.LocalExecutor{S: tbl.Store}
+	}
+	p, err := e.aggregateStore(ctx, q, cfg, tbl, false, "", tgt, f, hasFilter, fingerprint)
 	if err != nil {
 		return Result{}, err
 	}
@@ -552,6 +605,61 @@ func (e *Engine) queryConfig(q query.Query) core.Config {
 	return cfg
 }
 
+// target is the execution surface aggregateStore runs against. ex is
+// always set; s is the backing local store, nil when the blocks live on
+// remote shards — which rules out the paths that read raw bytes locally
+// (exact scans, baselines, time-budgeted runs).
+type target struct {
+	s  *block.Store
+	ex core.Executor
+}
+
+// groupTarget is one group's key and execution surface.
+type groupTarget struct {
+	key string
+	tgt target
+}
+
+// groupTargets resolves a GROUP BY query's per-group execution surfaces,
+// local or sharded, validating the group column either way.
+func (e *Engine) groupTargets(tbl *Table, q query.Query) ([]groupTarget, error) {
+	if tbl.Shard != nil {
+		keys := tbl.Shard.GroupKeys()
+		if len(keys) == 0 {
+			return nil, fmt.Errorf("engine: sharded table %q has no groups in its manifest; GROUP BY needs one", q.Table)
+		}
+		if col := tbl.Shard.GroupColumn(); col != "" && q.GroupBy != col {
+			return nil, fmt.Errorf("engine: unknown group column %q on table %q (group column is %q)", q.GroupBy, q.Table, col)
+		}
+		out := make([]groupTarget, 0, len(keys))
+		for _, key := range keys {
+			ex, err := tbl.Shard.GroupExecutor(key)
+			if err != nil {
+				return nil, err // unreachable: keys come from the manifest
+			}
+			out = append(out, groupTarget{key: key, tgt: target{ex: ex}})
+		}
+		return out, nil
+	}
+	gs := tbl.Groups
+	if gs == nil {
+		return nil, fmt.Errorf("engine: table %q is not grouped; register it with RegisterGrouped to GROUP BY", q.Table)
+	}
+	if col := gs.Column(); col != "" && q.GroupBy != col {
+		return nil, fmt.Errorf("engine: unknown group column %q on table %q (group column is %q)", q.GroupBy, q.Table, col)
+	}
+	keys := gs.Groups()
+	out := make([]groupTarget, 0, len(keys))
+	for _, key := range keys {
+		s, err := gs.Group(key)
+		if err != nil {
+			return nil, err // unreachable: keys come from the store
+		}
+		out = append(out, groupTarget{key: key, tgt: target{s: s, ex: core.LocalExecutor{S: s}}})
+	}
+	return out, nil
+}
+
 // partial is one store's answer — the whole table or a single group —
 // before it is folded into the Result shape.
 type partial struct {
@@ -566,6 +674,15 @@ type partial struct {
 	cached    bool
 	filter    *FilterInfo
 	part      *core.Partial // quarantine degradation accounting
+}
+
+// quarantinedIDs is the nil-tolerant quarantine probe: sharded targets
+// have no local store (their workers quarantine for themselves).
+func quarantinedIDs(s *block.Store) []int {
+	if s == nil {
+		return nil
+	}
+	return s.QuarantinedIDs()
 }
 
 // filterInfo extracts the selectivity diagnostics of a filtered run.
@@ -603,12 +720,30 @@ func compileFilter(preds []query.Predicate) (core.Filter, bool) {
 // with their canonical fingerprint. Small groups fall back to exact
 // computation like group.Aggregate does — sampling a 50-row group buys
 // nothing — under the engine's group-exact threshold.
-func (e *Engine) aggregateStore(ctx context.Context, q query.Query, cfg core.Config, tbl *Table, grouped bool, groupKey string, s *block.Store, f core.Filter, hasFilter bool, fingerprint string) (partial, error) {
-	M := s.TotalLen()
+func (e *Engine) aggregateStore(ctx context.Context, q query.Query, cfg core.Config, tbl *Table, grouped bool, groupKey string, tgt target, f core.Filter, hasFilter bool, fingerprint string) (partial, error) {
+	s := tgt.s
+	M := tgt.ex.TotalLen()
 	exact := q.Method == query.MethodExact
-	if grouped && !exact && q.Method == query.MethodISLA {
+	// The small-group exact fallback needs a local scan, so sharded groups
+	// always sample.
+	if grouped && !exact && q.Method == query.MethodISLA && s != nil {
 		if thr := e.groupExactThreshold(); thr > 0 && M <= thr {
 			exact = true
+		}
+	}
+
+	// Sharded targets refuse what cannot be pushed down. Unfiltered COUNT
+	// stays exempt — it is metadata-exact from the manifest either way.
+	if s == nil && !(q.Agg == query.COUNT && !hasFilter) {
+		switch {
+		case q.TimeBudget > 0:
+			return partial{}, fmt.Errorf("%w: time-budgeted runs", ErrShardUnsupported)
+		case exact:
+			return partial{}, fmt.Errorf("%w: exact scans", ErrShardUnsupported)
+		case q.Method != query.MethodISLA:
+			return partial{}, fmt.Errorf("%w: baseline estimators", ErrShardUnsupported)
+		case hasFilter && !f.HasInterval:
+			return partial{}, fmt.Errorf("%w: non-interval predicates (closures cannot travel to workers)", ErrShardUnsupported)
 		}
 	}
 
@@ -621,7 +756,7 @@ func (e *Engine) aggregateStore(ctx context.Context, q query.Query, cfg core.Con
 	// scale by the full M (Horvitz–Thompson would bias on partial
 	// coverage), baselines carry no partial accounting, and time-budgeted
 	// runs already compose truncation no CI could also absorb quarantine.
-	if ids := s.QuarantinedIDs(); len(ids) > 0 {
+	if ids := quarantinedIDs(s); len(ids) > 0 {
 		refuse := false
 		switch {
 		case q.Agg == query.COUNT && !hasFilter:
@@ -659,7 +794,7 @@ func (e *Engine) aggregateStore(ctx context.Context, q query.Query, cfg core.Con
 			}
 			return partial{value: float64(n), exact: true}, nil
 		}
-		fr, err := e.filtered(ctx, cfg, tbl, grouped, groupKey, s, f, fingerprint)
+		fr, err := e.filtered(ctx, cfg, tbl, grouped, groupKey, tgt, f, fingerprint)
 		if errors.Is(err, core.ErrNoMatch) {
 			// No sampled row matched: the count estimate is zero.
 			return partial{value: 0, samples: fr.Drawn, cached: fr.PilotCached,
@@ -690,7 +825,7 @@ func (e *Engine) aggregateStore(ctx context.Context, q query.Query, cfg core.Con
 			}
 			return partial{value: v, exact: true}, nil
 		}
-		fr, err := e.filtered(ctx, cfg, tbl, grouped, groupKey, s, f, fingerprint)
+		fr, err := e.filtered(ctx, cfg, tbl, grouped, groupKey, tgt, f, fingerprint)
 		if err != nil {
 			return partial{}, err
 		}
@@ -712,7 +847,7 @@ func (e *Engine) aggregateStore(ctx context.Context, q query.Query, cfg core.Con
 		avg, err = s.ExactMean()
 		p = partial{exact: true}
 	} else {
-		avg, p, err = e.average(ctx, q, cfg, tbl, grouped, groupKey, s)
+		avg, p, err = e.average(ctx, q, cfg, tbl, grouped, groupKey, tgt)
 	}
 	if err != nil {
 		return partial{}, err
@@ -738,8 +873,10 @@ func (e *Engine) aggregateStore(ctx context.Context, q query.Query, cfg core.Con
 }
 
 // average dispatches the unfiltered AVG computation to the selected
-// estimator on one store.
-func (e *Engine) average(ctx context.Context, q query.Query, cfg core.Config, tbl *Table, grouped bool, groupKey string, s *block.Store) (float64, partial, error) {
+// estimator on one target. Sharded targets reach only the MethodISLA
+// frozen pipeline — aggregateStore refused everything else already.
+func (e *Engine) average(ctx context.Context, q query.Query, cfg core.Config, tbl *Table, grouped bool, groupKey string, tgt target) (float64, partial, error) {
+	s := tgt.s
 	switch q.Method {
 	case query.MethodExact:
 		v, err := s.ExactMean()
@@ -751,7 +888,7 @@ func (e *Engine) average(ctx context.Context, q query.Query, cfg core.Config, tb
 			var opts timebound.Options
 			var hit bool
 			if cache := e.cache.Load(); cache != nil {
-				fp, h, err := e.frozenPilot(ctx, cache, tbl, grouped, groupKey, s, cfg)
+				fp, h, err := e.frozenPilot(ctx, cache, tbl, grouped, groupKey, tgt, cfg)
 				if err != nil {
 					return 0, partial{}, err
 				}
@@ -769,17 +906,31 @@ func (e *Engine) average(ctx context.Context, q query.Query, cfg core.Config, tb
 				achieved: tb.AchievedPrecision, covered: tb.CoveredBlocks}, nil
 		}
 		if cache := e.cache.Load(); cache != nil {
-			fp, hit, err := e.frozenPilot(ctx, cache, tbl, grouped, groupKey, s, cfg)
+			fp, hit, err := e.frozenPilot(ctx, cache, tbl, grouped, groupKey, tgt, cfg)
 			if err != nil {
 				return 0, partial{}, err
 			}
-			out, err := core.EstimateFrozen(ctx, s, cfg, fp)
+			out, err := tgt.ex.EstimateFrozen(ctx, cfg, fp)
 			if err != nil {
 				return 0, partial{}, err
 			}
 			out.PilotCached = hit
 			return out.Estimate, partial{ci: &out.CI, samples: out.TotalSamples,
 				detail: &out, cached: hit, part: out.Partial}, nil
+		}
+		if s == nil {
+			// No cache: a sharded table still runs the frozen pipeline —
+			// it is its only execution path.
+			fp, err := tgt.ex.FreezePilot(ctx, cfg)
+			if err != nil {
+				return 0, partial{}, err
+			}
+			out, err := tgt.ex.EstimateFrozen(ctx, cfg, fp)
+			if err != nil {
+				return 0, partial{}, err
+			}
+			return out.Estimate, partial{ci: &out.CI, samples: out.TotalSamples,
+				detail: &out, part: out.Partial}, nil
 		}
 		out, err := core.EstimateContext(ctx, s, cfg)
 		if err != nil {
@@ -834,19 +985,19 @@ func (e *Engine) average(ctx context.Context, q query.Query, cfg core.Config, tb
 // sample fraction still participates in the key so cache entries map
 // one-to-one onto distinct sampling plans (at the cost of one extra pilot
 // per fraction in use).
-func (e *Engine) frozenPilot(ctx context.Context, cache *plancache.Cache, tbl *Table, grouped bool, groupKey string, s *block.Store, cfg core.Config) (core.FrozenPilot, bool, error) {
+func (e *Engine) frozenPilot(ctx context.Context, cache *plancache.Cache, tbl *Table, grouped bool, groupKey string, tgt target, cfg core.Config) (core.FrozenPilot, bool, error) {
 	key := plancache.Key{
 		Table:          tbl.Name,
 		Generation:     tbl.Gen,
 		SampleFraction: cfg.SampleFraction,
 		Seed:           cfg.Seed,
 		SummaryPilot:   cfg.SummaryPilot,
-		SummaryCRC:     s.SummaryChecksum(),
+		SummaryCRC:     tgt.ex.SummaryChecksum(),
 		Grouped:        grouped,
 		Group:          groupKey,
 	}
 	v, hit, err := cache.Get(ctx, key, func() (any, error) {
-		return core.FreezePilot(s, cfg)
+		return tgt.ex.FreezePilot(ctx, cfg)
 	})
 	if err != nil {
 		return core.FrozenPilot{}, false, err
@@ -859,10 +1010,19 @@ func (e *Engine) frozenPilot(ctx context.Context, cache *plancache.Cache, tbl *T
 // observed selectivity, post-pilot RNG state) is cached per table version,
 // group, seed, sample fraction and predicate fingerprint, so a warm
 // filtered query skips its pilot entirely and answers bit-identically.
-func (e *Engine) filtered(ctx context.Context, cfg core.Config, tbl *Table, grouped bool, groupKey string, s *block.Store, f core.Filter, fingerprint string) (core.FilteredResult, error) {
+func (e *Engine) filtered(ctx context.Context, cfg core.Config, tbl *Table, grouped bool, groupKey string, tgt target, f core.Filter, fingerprint string) (core.FilteredResult, error) {
 	cache := e.cache.Load()
 	if cache == nil {
-		return core.EstimateFilteredContext(ctx, s, cfg, f)
+		if tgt.s != nil {
+			return core.EstimateFilteredContext(ctx, tgt.s, cfg, f)
+		}
+		// A sharded table without a cache still freezes then resumes — the
+		// composition is the filtered pipeline.
+		fp, err := tgt.ex.FreezeFilterPilot(ctx, cfg, f)
+		if err != nil {
+			return core.FilteredResult{}, err
+		}
+		return tgt.ex.EstimateFilteredFrozen(ctx, cfg, f, fp)
 	}
 	key := plancache.Key{
 		Table:          tbl.Name,
@@ -871,18 +1031,18 @@ func (e *Engine) filtered(ctx context.Context, cfg core.Config, tbl *Table, grou
 		Seed:           cfg.Seed,
 		SummaryPilot:   cfg.SummaryPilot,
 		DisablePruning: cfg.DisablePruning,
-		SummaryCRC:     s.SummaryChecksum(),
+		SummaryCRC:     tgt.ex.SummaryChecksum(),
 		Grouped:        grouped,
 		Group:          groupKey,
 		Predicate:      fingerprint,
 	}
 	v, hit, err := cache.Get(ctx, key, func() (any, error) {
-		return core.FreezeFilterPilot(s, cfg, f)
+		return tgt.ex.FreezeFilterPilot(ctx, cfg, f)
 	})
 	if err != nil {
 		return core.FilteredResult{}, err
 	}
-	fr, err := core.EstimateFilteredFrozen(ctx, s, cfg, f, v.(core.FilterPilot))
+	fr, err := tgt.ex.EstimateFilteredFrozen(ctx, cfg, f, v.(core.FilterPilot))
 	fr.PilotCached = hit
 	return fr, err
 }

@@ -189,12 +189,12 @@ func partialResponse(p *core.Partial) *PartialResponse {
 // failed carries its error and zero values — its siblings still answer,
 // and the HTTP status stays 200.
 type GroupResponse struct {
-	Group       string          `json:"group"`
-	Value       float64         `json:"value"`
-	Rows        int64           `json:"rows"`
-	Samples     int64           `json:"samples,omitempty"`
-	Exact       bool            `json:"exact,omitempty"`
-	PilotCached bool            `json:"pilot_cached,omitempty"`
+	Group       string           `json:"group"`
+	Value       float64          `json:"value"`
+	Rows        int64            `json:"rows"`
+	Samples     int64            `json:"samples,omitempty"`
+	Exact       bool             `json:"exact,omitempty"`
+	PilotCached bool             `json:"pilot_cached,omitempty"`
 	CI          *CIResponse      `json:"ci,omitempty"`
 	Filter      *FilterResponse  `json:"filter,omitempty"`
 	Partial     *PartialResponse `json:"partial,omitempty"`
@@ -433,13 +433,15 @@ func ciResponse(ci *stats.ConfidenceInterval) *CIResponse {
 }
 
 // TableInfo is one row of GET /tables. Grouped tables report their group
-// count and group column.
+// count and group column; sharded tables report the manifest's block
+// view (the blocks themselves live on the islaworkers).
 type TableInfo struct {
 	Name        string `json:"name"`
 	Rows        int64  `json:"rows"`
 	Blocks      int    `json:"blocks"`
 	Groups      int    `json:"groups,omitempty"`
 	GroupColumn string `json:"group_column,omitempty"`
+	Sharded     bool   `json:"sharded,omitempty"`
 }
 
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
@@ -455,10 +457,17 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			continue // raced with a concurrent drop; skip
 		}
-		info := TableInfo{
-			Name:   n,
-			Rows:   tbl.Store.TotalLen(),
-			Blocks: tbl.Store.NumBlocks(),
+		info := TableInfo{Name: n, Rows: tbl.Rows()}
+		switch {
+		case tbl.Shard != nil:
+			info.Blocks = tbl.Shard.Executor().NumBlocks()
+			info.Sharded = true
+			if col := tbl.Shard.GroupColumn(); col != "" {
+				info.Groups = len(tbl.Shard.GroupKeys())
+				info.GroupColumn = col
+			}
+		default:
+			info.Blocks = tbl.Store.NumBlocks()
 		}
 		if tbl.Groups != nil {
 			info.Groups = len(tbl.Groups.Groups())

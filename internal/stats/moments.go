@@ -125,6 +125,11 @@ func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
 // SampleStdDev returns the Bessel-corrected standard deviation.
 func (m *Moments) SampleStdDev() float64 { return math.Sqrt(m.SampleVariance()) }
 
+// M2 returns the raw Welford sum of squared deviations Σ(x−mean)² — the
+// exact serialized form RebuildMoments consumes, so moments survive a wire
+// round-trip bit for bit (Variance()·Count() loses the n<2 state and a ulp).
+func (m *Moments) M2() float64 { return m.m2 }
+
 // Min returns the smallest observation (0 when empty).
 func (m *Moments) Min() float64 { return m.min }
 

@@ -240,6 +240,46 @@ type ClusterFaults = cluster.Faults
 // from seed.
 func NewClusterFaults(seed uint64) *ClusterFaults { return cluster.NewFaults(seed) }
 
+// ShardManifest is the catalog of a sharded table: which worker address
+// owns which block ids at which lengths, plus the per-group block sets of
+// grouped tables. It is the source of truth workers are validated against
+// when a sharded table is opened.
+type ShardManifest = cluster.ShardManifest
+
+// ShardEntry assigns blocks (with lengths) to one worker address within a
+// shard manifest; the same block id in two entries declares a replica.
+type ShardEntry = cluster.ShardEntry
+
+// ShardGroup assigns blocks to one group key within a shard manifest.
+type ShardGroup = cluster.ShardGroup
+
+// ShardTable is a sharded table: workers admitted per a shard manifest,
+// queryable through the engine with pushed-down filtered, grouped and
+// pilot execution. Answers are bit-identical per seed to a single-node
+// run over the same blocks.
+type ShardTable = cluster.ShardTable
+
+// LoadShardManifest reads and validates a shard manifest file.
+func LoadShardManifest(path string) (*ShardManifest, error) {
+	return cluster.LoadShardManifest(path)
+}
+
+// OpenShardTable validates the manifest, connects to every shard worker
+// and returns the queryable table. fault tunes the transport's fault
+// tolerance (zero value: sensible defaults). Close the table to release
+// the connections.
+func OpenShardTable(man *ShardManifest, cfg Config, fault ClusterConfig) (*ShardTable, error) {
+	return cluster.NewShardTable(man, cfg, fault, nil)
+}
+
+// RegisterSharded registers a shard table under name: queries scatter to
+// the owning workers and gather per-block statistics, through the same
+// plan cache and degradation policy as local tables. Exact scans,
+// baseline estimators and time-budgeted runs refuse on sharded tables.
+func (db *DB) RegisterSharded(name string, st *ShardTable) {
+	db.engine.Catalog.RegisterSharded(name, st)
+}
+
 // GroupRow is one (group key, value) observation for grouped aggregation.
 type GroupRow = group.Row
 
